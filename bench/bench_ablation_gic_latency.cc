@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Extension study: how sensitive are the paper's results to the
+ * interrupt controller's register-access latency?
+ *
+ * The X-Gene's GIC sits across a slow interconnect (~295 cycles per
+ * access — derived from the 3,250-cycle VGIC save in Table III). The
+ * paper identifies the VGIC read-back as the dominant split-mode
+ * cost; this sweep quantifies the architectural implication: what a
+ * core-speed interrupt controller (as in later server SoCs, or a
+ * system-register GIC a la GICv3) would have done to every Table II
+ * row, without any software change.
+ */
+
+#include <iostream>
+
+#include "core/microbench.hh"
+#include "core/report.hh"
+#include "core/testbed.hh"
+
+using namespace virtsim;
+
+namespace {
+
+/** Scale all GIC access costs of an ARM testbed by factor. */
+void
+scaleGic(Testbed &tb, double factor)
+{
+    auto &cm = const_cast<CostModel &>(tb.machine().costs());
+    cm.irqChipRegAccess =
+        static_cast<Cycles>(cm.irqChipRegAccess * factor);
+    // The VGIC save is ~11 reads of the virtual interface; scale the
+    // measured block the same way. Restore stays register-write
+    // cheap.
+    cm.cost(RegClass::Vgic).save = static_cast<Cycles>(
+        cm.cost(RegClass::Vgic).save * factor);
+    cm.listRegWrite =
+        static_cast<Cycles>(cm.listRegWrite * factor);
+}
+
+double
+micro(SutKind kind, MicroOp op, double gic_scale)
+{
+    TestbedConfig tc;
+    tc.kind = kind;
+    Testbed tb(tc);
+    scaleGic(tb, gic_scale);
+    MicrobenchSuite suite(tb);
+    return suite.run(op, 20).cycles.mean();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Extension: GIC register-access latency sweep "
+                 "(ARM)\n"
+              << "1.00x = X-Gene as measured (~295 cycles/access); "
+                 "0.1x ~ core-speed GIC\n\n";
+
+    const double scales[] = {1.0, 0.5, 0.25, 0.1};
+    const MicroOp ops[] = {MicroOp::Hypercall,
+                           MicroOp::InterruptControllerTrap,
+                           MicroOp::VirtualIpi, MicroOp::VmSwitch};
+
+    for (SutKind kind : {SutKind::KvmArm, SutKind::XenArm}) {
+        TextTable t({to_string(kind) + " microbenchmark", "1.00x",
+                     "0.50x", "0.25x", "0.10x"});
+        for (MicroOp op : ops) {
+            std::vector<std::string> row{to_string(op)};
+            for (double s : scales)
+                row.push_back(formatCycles(micro(kind, op, s)));
+            t.addRow(row);
+        }
+        std::cout << t.render() << "\n";
+    }
+
+    // Findings: a core-speed GIC halves the split-mode hypercall but
+    // cannot reach the Xen ARM fast path (the EL1 system-register
+    // switch remains), while Xen ARM's hypercall is insensitive (it
+    // never touches the GIC).
+    const double kvm_slow = micro(SutKind::KvmArm,
+                                  MicroOp::Hypercall, 1.0);
+    const double kvm_fast = micro(SutKind::KvmArm,
+                                  MicroOp::Hypercall, 0.1);
+    const double xen_slow = micro(SutKind::XenArm,
+                                  MicroOp::Hypercall, 1.0);
+    const double xen_fast = micro(SutKind::XenArm,
+                                  MicroOp::Hypercall, 0.1);
+
+    const bool kvm_halves = kvm_fast < 0.60 * kvm_slow;
+    const bool gap_remains = kvm_fast > 4.0 * xen_slow;
+    const bool xen_insensitive = xen_fast == xen_slow;
+
+    std::cout << "Key findings:\n"
+              << "  A fast GIC removes ~half the split-mode "
+                 "hypercall cost: "
+              << (kvm_halves ? "yes" : "NO") << "\n"
+              << "  ...but the EL1 state switch keeps Type 2 >4x "
+                 "behind Type 1: "
+              << (gap_remains ? "yes" : "NO") << "\n"
+              << "  Xen ARM's fast path never touches the GIC: "
+              << (xen_insensitive ? "yes" : "NO") << "\n";
+    return (kvm_halves && gap_remains && xen_insensitive) ? 0 : 1;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * E8 ablation (Section V): the Linux 4.0-rc1 TSO-autosizing
+ * regression behind the Xen TCP_MAERTS result.
+ *
+ * Paper: "the Xen performance problem is due to a regression in
+ * Linux introduced in Linux v4.0-rc1 in an attempt to fight
+ * bufferbloat ... We confirmed that using an earlier version of
+ * Linux or tuning the TCP configuration in the guest using sysfs
+ * significantly reduced the overhead of Xen on the TCP MAERTS
+ * benchmark."
+ */
+
+#include <iostream>
+
+#include "core/netperf.hh"
+#include "core/report.hh"
+
+using namespace virtsim;
+
+namespace {
+
+double
+maertsGbps(SutKind kind, bool regression)
+{
+    TestbedConfig tc;
+    tc.kind = kind;
+    tc.tsoRegression = regression;
+    Testbed tb(tc);
+    return runNetperfMaerts(tb).gbps;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Ablation E8: TSO-autosizing regression on Xen "
+                 "TCP_MAERTS (Section V)\n\n";
+
+    const double native = maertsGbps(SutKind::Native, true);
+    const double xen_regressed = maertsGbps(SutKind::XenArm, true);
+    const double xen_fixed = maertsGbps(SutKind::XenArm, false);
+    const double kvm = maertsGbps(SutKind::KvmArm, true);
+
+    TextTable table({"Configuration", "Gbps", "normalized overhead"});
+    table.addRow({"Native ARM", formatFixed(native, 2), "1.00"});
+    table.addRow({"KVM ARM (regression active, unaffected path)",
+                  formatFixed(kvm, 2),
+                  formatFixed(native / kvm, 2)});
+    table.addRow({"Xen ARM, Linux 4.0-rc4 (regression active)",
+                  formatFixed(xen_regressed, 2),
+                  formatFixed(native / xen_regressed, 2)});
+    table.addRow({"Xen ARM, tuned/older TCP (regression off)",
+                  formatFixed(xen_fixed, 2),
+                  formatFixed(native / xen_fixed, 2)});
+    std::cout << table.render() << "\n";
+
+    const bool xen_bad_with_regression =
+        native / xen_regressed > 1.7;
+    const bool tuning_recovers =
+        xen_fixed > 1.5 * xen_regressed;
+    const bool kvm_unaffected = native / kvm < 1.15;
+
+    std::cout << "Key findings reproduced:\n"
+              << "  Xen MAERTS shows substantially higher overhead "
+                 "under the regression: "
+              << (xen_bad_with_regression ? "yes" : "NO") << "\n"
+              << "  Tuning the guest TCP configuration recovers most "
+                 "of it: "
+              << (tuning_recovers ? "yes" : "NO") << "\n"
+              << "  KVM's transmit path is unaffected: "
+              << (kvm_unaffected ? "yes" : "NO") << "\n";
+    return (xen_bad_with_regression && tuning_recovers &&
+            kvm_unaffected)
+               ? 0
+               : 1;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * E5 ablation (Section V): distributing virtual interrupts across
+ * VCPUs instead of funneling everything through VCPU0.
+ *
+ * Paper: "distributing virtual interrupts across multiple VCPUs ...
+ * causes performance overhead to drop on KVM from 35% to 14% on
+ * Apache and from 26% to 8% on Memcached, and on Xen from 84% to 16%
+ * on Apache and from 32% to 9% on Memcached."
+ */
+
+#include <iostream>
+
+#include "core/appbench.hh"
+#include "core/report.hh"
+#include "core/workloads/apache.hh"
+#include "core/workloads/memcached.hh"
+
+using namespace virtsim;
+
+namespace {
+
+double
+overheadOf(Workload &w, SutKind kind, VirqDistribution dist)
+{
+    AppBenchOptions opt;
+    opt.kinds = {kind};
+    opt.virqDist = dist;
+    const AppBenchRow row = runAppBenchRow(w, opt);
+    return row.cells.at(0).normalizedOverhead.value_or(-1.0);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Ablation E5: virtual-interrupt distribution "
+                 "(Section V)\n"
+              << "Overhead vs native with all vIRQs on VCPU0 "
+                 "(paper default)\nversus spread across VCPUs.\n\n";
+
+    ApacheWorkload apache;
+    MemcachedWorkload memcached;
+
+    TextTable table({"Workload / HV", "single VCPU0", "distributed",
+                     "paper single", "paper distributed"});
+
+    struct Case
+    {
+        Workload *w;
+        SutKind kind;
+        const char *label;
+        const char *paper_single;
+        const char *paper_spread;
+    };
+    const Case cases[] = {
+        {&apache, SutKind::KvmArm, "Apache / KVM ARM", "1.35", "1.14"},
+        {&apache, SutKind::XenArm, "Apache / Xen ARM", "1.84", "1.16"},
+        {&memcached, SutKind::KvmArm, "Memcached / KVM ARM", "1.26",
+         "1.08"},
+        {&memcached, SutKind::XenArm, "Memcached / Xen ARM", "1.32",
+         "1.09"},
+    };
+
+    bool all_improve = true;
+    double reduction_sum = 0;
+    for (const auto &c : cases) {
+        const double single =
+            overheadOf(*c.w, c.kind, VirqDistribution::SingleVcpu);
+        const double spread =
+            overheadOf(*c.w, c.kind, VirqDistribution::Spread);
+        table.addRow({c.label, formatFixed(single, 2),
+                      formatFixed(spread, 2), c.paper_single,
+                      c.paper_spread});
+        if (spread >= single)
+            all_improve = false;
+        reduction_sum += (single - spread) / (single - 1.0 + 1e-9);
+    }
+    const double mean_reduction = reduction_sum / 4.0;
+    std::cout << table.render() << "\n";
+
+    const bool sharp = all_improve && mean_reduction > 0.25;
+    std::cout << "Key finding reproduced:\n"
+              << "  Distributing vIRQs reduces overhead in every "
+                 "case (mean overhead reduction "
+              << formatFixed(mean_reduction * 100.0, 0) << "%): "
+              << (sharp ? "yes" : "NO") << "\n";
+    return sharp ? 0 : 1;
+}

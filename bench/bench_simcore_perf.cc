@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator infrastructure
+ * itself — event queue throughput, world-switch engine, and
+ * end-to-end simulation rates — to keep the harness fast enough for
+ * the large Figure 4 sweeps.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/microbench.hh"
+#include "core/netperf.hh"
+#include "core/testbed.hh"
+#include "hv/world_switch.hh"
+#include "sim/event_queue.hh"
+
+using namespace virtsim;
+
+namespace {
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        int fired = 0;
+        for (int i = 0; i < 1000; ++i)
+            eq.scheduleAt(static_cast<Cycles>(i), [&fired] { ++fired; });
+        eq.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_WorldSwitchSaveRestore(benchmark::State &state)
+{
+    EventQueue eq;
+    const CostModel cm = CostModel::armAtlas();
+    PhysicalCpu cpu(0, eq, cm);
+    RegFile save_area;
+    WorldSwitchEngine wse(cm);
+    for (auto _ : state) {
+        Cycles c = wse.save(cpu, save_area, kvmArmSwitchedState);
+        c += wse.restore(cpu, save_area, kvmArmSwitchedState);
+        benchmark::DoNotOptimize(c);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WorldSwitchSaveRestore);
+
+void
+BM_HypercallMicrobench(benchmark::State &state)
+{
+    for (auto _ : state) {
+        TestbedConfig tc;
+        tc.kind = SutKind::KvmArm;
+        Testbed tb(tc);
+        MicrobenchSuite suite(tb);
+        const MicroResult r = suite.run(MicroOp::Hypercall, 50);
+        benchmark::DoNotOptimize(r.cycles.mean());
+    }
+    state.SetItemsProcessed(state.iterations() * 50);
+}
+BENCHMARK(BM_HypercallMicrobench);
+
+void
+BM_NetperfRrTransaction(benchmark::State &state)
+{
+    for (auto _ : state) {
+        TestbedConfig tc;
+        tc.kind = SutKind::KvmArm;
+        Testbed tb(tc);
+        NetperfRrConfig cfg;
+        cfg.transactions = 50;
+        const NetperfRrResult r = runNetperfRr(tb, cfg);
+        benchmark::DoNotOptimize(r.transPerSec);
+    }
+    state.SetItemsProcessed(state.iterations() * 50);
+}
+BENCHMARK(BM_NetperfRrTransaction);
+
+} // namespace
+
+BENCHMARK_MAIN();

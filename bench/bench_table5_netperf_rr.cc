@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Regenerates Table V: "Netperf TCP RR Analysis on ARM" — the
+ * tcpdump-style decomposition of a 1-byte request/response
+ * transaction into wire/client, hypervisor-delivery and VM-internal
+ * legs, for native, KVM and Xen on the ARM testbed.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "core/netperf.hh"
+#include "core/report.hh"
+
+using namespace virtsim;
+
+namespace {
+
+struct PaperColumn
+{
+    double trans_s;
+    double time_trans;
+    double send_to_recv;
+    double recv_to_send;
+    double recv_to_vm_recv;
+    double vm_recv_to_vm_send;
+    double vm_send_to_send;
+};
+
+const PaperColumn paperNative = {23911, 41.8, 29.7, 14.5, 0, 0, 0};
+const PaperColumn paperKvm = {11591, 86.3, 29.8, 53.0, 21.1, 16.9,
+                              15.0};
+const PaperColumn paperXen = {10253, 97.5, 33.9, 64.6, 25.9, 17.4,
+                              21.4};
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Table V: Netperf TCP RR Analysis on ARM\n"
+              << "Simulated reproduction of Dall et al., ISCA 2016.\n\n";
+
+    const std::vector<std::pair<SutKind, const PaperColumn *>> cols = {
+        {SutKind::Native, &paperNative},
+        {SutKind::KvmArm, &paperKvm},
+        {SutKind::XenArm, &paperXen},
+    };
+
+    std::vector<NetperfRrResult> results;
+    for (const auto &[kind, paper] : cols) {
+        (void)paper;
+        TestbedConfig tc;
+        tc.kind = kind;
+        Testbed tb(tc);
+        results.push_back(runNetperfRr(tb));
+    }
+
+    TextTable table({"", "Native", "KVM", "Xen"});
+    auto row3 = [&](const std::string &label, auto get, int digits) {
+        table.addRow({label, formatFixed(get(results[0]), digits),
+                      formatFixed(get(results[1]), digits),
+                      formatFixed(get(results[2]), digits)});
+    };
+    row3("Trans/s",
+         [](const NetperfRrResult &r) { return r.transPerSec; }, 0);
+    row3("Time/trans (us)",
+         [](const NetperfRrResult &r) { return r.timePerTransUs; }, 1);
+    table.addRow(
+        {"Overhead (us)", "-",
+         formatFixed(results[1].timePerTransUs -
+                         results[0].timePerTransUs, 1),
+         formatFixed(results[2].timePerTransUs -
+                         results[0].timePerTransUs, 1)});
+    row3("send to recv (us)",
+         [](const NetperfRrResult &r) { return r.sendToRecvUs; }, 1);
+    row3("recv to send (us)",
+         [](const NetperfRrResult &r) { return r.recvToSendUs; }, 1);
+    row3("recv to VM recv (us)",
+         [](const NetperfRrResult &r) { return r.recvToVmRecvUs; }, 1);
+    row3("VM recv to VM send (us)",
+         [](const NetperfRrResult &r) { return r.vmRecvToVmSendUs; },
+         1);
+    row3("VM send to send (us)",
+         [](const NetperfRrResult &r) { return r.vmSendToSendUs; }, 1);
+    std::cout << table.render() << "\n";
+
+    std::cout << "Paper reference:\n";
+    TextTable ref({"", "Native", "KVM", "Xen"});
+    ref.addRow({"Trans/s", "23,911", "11,591", "10,253"});
+    ref.addRow({"Time/trans (us)", "41.8", "86.3", "97.5"});
+    ref.addRow({"send to recv (us)", "29.7", "29.8", "33.9"});
+    ref.addRow({"recv to send (us)", "14.5", "53.0", "64.6"});
+    ref.addRow({"recv to VM recv (us)", "-", "21.1", "25.9"});
+    ref.addRow({"VM recv to VM send (us)", "-", "16.9", "17.4"});
+    ref.addRow({"VM send to send (us)", "-", "15.0", "21.4"});
+    std::cout << ref.render() << "\n";
+
+    // The paper's qualitative conclusions from this table.
+    const auto &nat = results[0];
+    const auto &kvm = results[1];
+    const auto &xen = results[2];
+    const bool both_high_overhead =
+        kvm.timePerTransUs > 1.6 * nat.timePerTransUs &&
+        xen.timePerTransUs > 1.8 * nat.timePerTransUs;
+    const bool xen_worse = xen.timePerTransUs > kvm.timePerTransUs;
+    const bool kvm_send_recv_native =
+        kvm.sendToRecvUs < 1.08 * nat.sendToRecvUs;
+    const bool xen_send_recv_slower =
+        xen.sendToRecvUs > 1.08 * nat.sendToRecvUs;
+    const bool vm_internal_similar =
+        xen.vmRecvToVmSendUs < 1.25 * kvm.vmRecvToVmSendUs &&
+        kvm.vmRecvToVmSendUs < 1.4 * nat.recvToSendUs;
+    const bool xen_delivery_slower =
+        xen.recvToVmRecvUs + xen.vmSendToSendUs >
+        kvm.recvToVmRecvUs + kvm.vmSendToSendUs + 5.0;
+
+    std::cout << "Key findings reproduced:\n"
+              << "  Both hypervisors add large per-transaction "
+                 "overhead: "
+              << (both_high_overhead ? "yes" : "NO") << "\n"
+              << "  Xen noticeably worse than KVM: "
+              << (xen_worse ? "yes" : "NO") << "\n"
+              << "  KVM send-to-recv equals native (no interference): "
+              << (kvm_send_recv_native ? "yes" : "NO") << "\n"
+              << "  Xen send-to-recv slower (idle->Dom0 before "
+                 "stamp): "
+              << (xen_send_recv_slower ? "yes" : "NO") << "\n"
+              << "  VM-internal time similar across hypervisors: "
+              << (vm_internal_similar ? "yes" : "NO") << "\n"
+              << "  Xen loses on the delivery legs (grant copies + "
+                 "domain switches): "
+              << (xen_delivery_slower ? "yes" : "NO") << "\n";
+
+    return (both_high_overhead && xen_worse && kvm_send_recv_native &&
+            xen_send_recv_slower && vm_internal_similar &&
+            xen_delivery_slower)
+               ? 0
+               : 1;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Capacity planning for a virtualized web tier: which hypervisor,
+ * and should you distribute virtual interrupts?
+ *
+ * Uses the application-benchmark machinery (paper Figure 4 + the
+ * Section V interrupt-distribution experiment) to compare deployment
+ * options for an Apache-like workload on the ARM server.
+ */
+
+#include <iostream>
+
+#include "core/appbench.hh"
+#include "core/report.hh"
+#include "core/workloads/apache.hh"
+
+using namespace virtsim;
+
+namespace {
+
+double
+throughput(SutKind kind, VirqDistribution dist)
+{
+    ApacheWorkload apache;
+    AppBenchOptions opt;
+    opt.kinds = {kind};
+    opt.virqDist = dist;
+    const AppBenchRow row = runAppBenchRow(apache, opt);
+    return row.cells.at(0).score;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Web-tier deployment study (Apache, 100 concurrent "
+                 "clients, 10 GbE)\n\n";
+
+    ApacheWorkload apache;
+    AppBenchOptions base;
+    base.kinds = {SutKind::KvmArm};
+    const AppBenchRow native_row = runAppBenchRow(apache, base);
+    const double native = native_row.nativeScoreArm;
+
+    TextTable t({"Deployment", "req/s", "vs native"});
+    t.addRow({"Bare metal (4 cores)", formatFixed(native, 0), "1.00"});
+    struct Option
+    {
+        const char *label;
+        SutKind kind;
+        VirqDistribution dist;
+    };
+    const Option options[] = {
+        {"KVM ARM, default vIRQ policy", SutKind::KvmArm,
+         VirqDistribution::SingleVcpu},
+        {"KVM ARM, vIRQs distributed", SutKind::KvmArm,
+         VirqDistribution::Spread},
+        {"Xen ARM, default vIRQ policy", SutKind::XenArm,
+         VirqDistribution::SingleVcpu},
+        {"Xen ARM, vIRQs distributed", SutKind::XenArm,
+         VirqDistribution::Spread},
+        {"KVM ARM on ARMv8.1 VHE hardware", SutKind::KvmArmVhe,
+         VirqDistribution::SingleVcpu},
+    };
+    for (const auto &o : options) {
+        const double r = throughput(o.kind, o.dist);
+        t.addRow({o.label, formatFixed(r, 0),
+                  formatFixed(native / r, 2)});
+    }
+    std::cout << t.render() << "\n"
+              << "Takeaways: interrupt placement matters more than\n"
+              << "hypervisor type; spreading virtual interrupts\n"
+              << "relieves the VCPU0 bottleneck on both designs, and\n"
+              << "VHE closes most of the remaining Type 2 gap.\n";
+    return 0;
+}

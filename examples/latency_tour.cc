@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Follow one netperf TCP_RR transaction through the virtualization
+ * stack, KVM vs Xen — the paper's Table V methodology as a guided
+ * tour. Shows where a 1-byte round trip spends its 86-98
+ * microseconds, and why the Type 1 hypervisor with the 17x-faster
+ * hypercall is the slower server.
+ */
+
+#include <iostream>
+
+#include "core/netperf.hh"
+#include "core/report.hh"
+
+using namespace virtsim;
+
+namespace {
+
+NetperfRrResult
+runOn(SutKind kind)
+{
+    TestbedConfig config;
+    config.kind = kind;
+    Testbed tb(config);
+    NetperfRrConfig cfg;
+    cfg.transactions = 100;
+    return runNetperfRr(tb, cfg);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "One TCP_RR transaction, three ways "
+                 "(paper Table V)\n\n";
+    const NetperfRrResult native = runOn(SutKind::Native);
+    const NetperfRrResult kvm = runOn(SutKind::KvmArm);
+    const NetperfRrResult xen = runOn(SutKind::XenArm);
+
+    TextTable t({"Leg", "Native", "KVM ARM", "Xen ARM"});
+    t.addRow({"wire + client (send->recv, us)",
+              formatFixed(native.sendToRecvUs, 1),
+              formatFixed(kvm.sendToRecvUs, 1),
+              formatFixed(xen.sendToRecvUs, 1)});
+    t.addRow({"driver -> VM driver (us)", "-",
+              formatFixed(kvm.recvToVmRecvUs, 1),
+              formatFixed(xen.recvToVmRecvUs, 1)});
+    t.addRow({"inside the VM (us)",
+              formatFixed(native.recvToSendUs, 1),
+              formatFixed(kvm.vmRecvToVmSendUs, 1),
+              formatFixed(xen.vmRecvToVmSendUs, 1)});
+    t.addRow({"VM driver -> wire (us)", "-",
+              formatFixed(kvm.vmSendToSendUs, 1),
+              formatFixed(xen.vmSendToSendUs, 1)});
+    t.addRow({"time per transaction (us)",
+              formatFixed(native.timePerTransUs, 1),
+              formatFixed(kvm.timePerTransUs, 1),
+              formatFixed(xen.timePerTransUs, 1)});
+    t.addRow({"transactions/s", formatFixed(native.transPerSec, 0),
+              formatFixed(kvm.transPerSec, 0),
+              formatFixed(xen.transPerSec, 0)});
+    std::cout << t.render() << "\n";
+
+    std::cout
+        << "What to notice (Section V):\n"
+        << "  * The VM-internal leg is nearly identical for both\n"
+        << "    hypervisors and close to native: CPU/memory\n"
+        << "    virtualization is a hardware solved problem.\n"
+        << "  * Xen loses on the delivery legs — every packet means\n"
+        << "    an idle-domain switch, an event channel round, and a\n"
+        << "    grant copy that costs >3 us for a single byte.\n"
+        << "  * Xen even inflates the wire leg: the packet's\n"
+        << "    timestamp waits for the idle->Dom0 switch.\n";
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 4 machinery: run every application workload natively and
+ * virtualized, and report the normalized performance overhead
+ * ("all numbers are normalized to 1 for native performance, so that
+ * lower numbers represent better performance").
+ */
+
+#ifndef VIRTSIM_CORE_APPBENCH_HH
+#define VIRTSIM_CORE_APPBENCH_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/testbed.hh"
+#include "core/workloads/workload.hh"
+
+namespace virtsim {
+
+/** One workload x configuration cell of Figure 4. */
+struct AppBenchCell
+{
+    SutKind kind;
+    double score = 0;
+    /** native_score / score; >= 1 means slower than native.
+     *  Unset when the configuration could not run the workload
+     *  (the Xen x86 Apache Dom0 panic). */
+    std::optional<double> normalizedOverhead;
+};
+
+/** One workload row of Figure 4. */
+struct AppBenchRow
+{
+    std::string workload;
+    /** Native score per architecture (indexed by Arch). */
+    double nativeScoreArm = 0;
+    double nativeScoreX86 = 0;
+    std::vector<AppBenchCell> cells;
+};
+
+/** Options shared by every run in a Figure 4 sweep. */
+struct AppBenchOptions
+{
+    std::vector<SutKind> kinds = {SutKind::KvmArm, SutKind::XenArm,
+                                  SutKind::KvmX86, SutKind::XenX86};
+    VirqDistribution virqDist = VirqDistribution::SingleVcpu;
+    bool tsoRegression = true;
+    bool zeroCopyGrants = false;
+    /** Model the Dom0 Mellanox driver panic on Xen x86 (reported as
+     *  N/A for Apache, as in the paper). */
+    bool dom0MellanoxBug = true;
+    std::uint64_t seed = 42;
+};
+
+/** Run one workload through native + the configured kinds. */
+AppBenchRow runAppBenchRow(Workload &w, const AppBenchOptions &opt);
+
+/** Run the full Figure 4 workload set. */
+std::vector<AppBenchRow> runFigure4(const AppBenchOptions &opt);
+
+} // namespace virtsim
+
+#endif // VIRTSIM_CORE_APPBENCH_HH

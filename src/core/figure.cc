@@ -1,0 +1,77 @@
+#include "core/figure.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/report.hh"
+#include "sim/log.hh"
+
+namespace virtsim {
+
+BarFigure::BarFigure(std::vector<std::string> series_names,
+                     double max_value, int width)
+    : series(std::move(series_names)), maxValue(max_value), width(width)
+{
+    VIRTSIM_ASSERT(!series.empty(), "figure needs at least one series");
+    VIRTSIM_ASSERT(maxValue > 0 && width > 4, "bad figure geometry");
+}
+
+void
+BarFigure::addGroup(const std::string &label,
+                    std::vector<std::optional<double>> values)
+{
+    VIRTSIM_ASSERT(values.size() == series.size(),
+                   "group width ", values.size(), " != series count ",
+                   series.size());
+    body.push_back(Group{label, std::move(values)});
+}
+
+std::string
+BarFigure::renderBar(double value) const
+{
+    const double frac = value / maxValue;
+    const bool clipped = frac > 1.0;
+    const int cells = clipped
+        ? width
+        : static_cast<int>(std::lround(frac * width));
+    std::string bar(static_cast<std::size_t>(std::max(cells, 1)), '#');
+    if (clipped)
+        bar.back() = '>';
+    return bar;
+}
+
+std::string
+BarFigure::render() const
+{
+    std::size_t label_w = 0;
+    for (const auto &g : body)
+        label_w = std::max(label_w, g.label.size());
+    for (const auto &s : series)
+        label_w = std::max(label_w, s.size() + 2);
+
+    std::ostringstream oss;
+    for (const auto &g : body) {
+        oss << g.label << "\n";
+        for (std::size_t i = 0; i < series.size(); ++i) {
+            oss << "  " << series[i]
+                << std::string(label_w - series[i].size() - 2, ' ')
+                << " |";
+            if (!g.values[i]) {
+                oss << " N/A\n";
+                continue;
+            }
+            oss << renderBar(*g.values[i]) << " "
+                << formatFixed(*g.values[i], 2) << "\n";
+        }
+    }
+    // Scale ruler.
+    oss << std::string(label_w, ' ') << " |"
+        << std::string(static_cast<std::size_t>(width), '-') << "|\n"
+        << std::string(label_w, ' ') << " 0"
+        << std::string(static_cast<std::size_t>(width - 3), ' ')
+        << formatFixed(maxValue, 1) << "+\n";
+    return oss.str();
+}
+
+} // namespace virtsim

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Text rendering of grouped bar charts, so the Figure 4 bench can
+ * print an actual *figure* — normalized overhead bars per workload
+ * and hypervisor — alongside the numeric table, mirroring the paper's
+ * presentation.
+ */
+
+#ifndef VIRTSIM_CORE_FIGURE_HH
+#define VIRTSIM_CORE_FIGURE_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace virtsim {
+
+/**
+ * A grouped horizontal bar chart rendered in plain text.
+ */
+class BarFigure
+{
+  public:
+    /**
+     * @param series_names one name per bar within a group (e.g. the
+     *        four hypervisor configurations)
+     * @param max_value    value at full bar width; longer bars clip
+     *        with a ">" marker (Figure 4 clips the same way for Xen
+     *        TCP_STREAM)
+     * @param width        bar field width in characters
+     */
+    BarFigure(std::vector<std::string> series_names, double max_value,
+              int width = 48);
+
+    /**
+     * Append one group (e.g. one workload). Values must match the
+     * series count; nullopt renders as "N/A" (the Xen x86 Apache
+     * cell).
+     */
+    void addGroup(const std::string &label,
+                  std::vector<std::optional<double>> values);
+
+    /** Render the whole figure. */
+    std::string render() const;
+
+    /** Render one bar line (exposed for tests). */
+    std::string renderBar(double value) const;
+
+    std::size_t groups() const { return body.size(); }
+
+  private:
+    struct Group
+    {
+        std::string label;
+        std::vector<std::optional<double>> values;
+    };
+
+    std::vector<std::string> series;
+    double maxValue;
+    int width;
+    std::vector<Group> body;
+};
+
+} // namespace virtsim
+
+#endif // VIRTSIM_CORE_FIGURE_HH

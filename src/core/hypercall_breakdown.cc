@@ -1,0 +1,47 @@
+#include "core/hypercall_breakdown.hh"
+
+#include <map>
+
+#include "sim/log.hh"
+
+namespace virtsim {
+
+HypercallBreakdown
+measureHypercallBreakdown(Testbed &tb)
+{
+    auto *kvm = dynamic_cast<KvmArm *>(tb.hypervisor());
+    VIRTSIM_ASSERT(kvm, "hypercall breakdown requires KVM ARM");
+
+    WorldSwitchEngine &wse = kvm->switchEngine();
+    Vcpu &v = tb.guest()->vcpu(0);
+
+    HypercallBreakdown out;
+    wse.startRecording();
+    const Cycles t0 = std::max(tb.queue().now(), tb.frontier(0));
+    kvm->hypercall(t0, v, [&out, t0](Cycles t1) {
+        out.hypercallCycles = t1 - t0;
+    });
+    tb.run();
+    wse.stopRecording();
+
+    std::map<RegClass, BreakdownRow> agg;
+    for (const SwitchRecord &r : wse.records()) {
+        auto &row = agg[r.cls];
+        row.cls = r.cls;
+        if (r.isSave)
+            row.save += r.cost;
+        else
+            row.restore += r.cost;
+    }
+    for (RegClass cls : armRegClasses) {
+        auto it = agg.find(cls);
+        if (it == agg.end())
+            continue;
+        out.rows.push_back(it->second);
+        out.totalSave += it->second.save;
+        out.totalRestore += it->second.restore;
+    }
+    return out;
+}
+
+} // namespace virtsim

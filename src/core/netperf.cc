@@ -1,0 +1,246 @@
+#include "core/netperf.hh"
+
+#include <vector>
+
+#include "os/kernel.hh"
+#include "sim/log.hh"
+
+namespace virtsim {
+
+namespace {
+
+/** Per-transaction timestamp record for the Table V analysis. */
+struct RrStamps
+{
+    Cycles hostRx = 0;    ///< server datalink rx ("recv")
+    Cycles vmRx = 0;      ///< VM driver rx ("VM recv")
+    Cycles vmSend = 0;    ///< VM driver tx ("VM send")
+    Cycles serverTx = 0;  ///< server datalink tx ("send")
+};
+
+} // namespace
+
+NetperfRrResult
+runNetperfRr(Testbed &tb, NetperfRrConfig cfg)
+{
+    const int total = cfg.transactions + cfg.warmup;
+    const NetstackCosts &net = tb.netCosts();
+    const Frequency f = tb.freq();
+    std::vector<RrStamps> stamps(static_cast<std::size_t>(total));
+
+    // The netperf server blocks in recv() between transactions.
+    tb.setIdle(0, true);
+
+    std::uint64_t current = 0; // transaction id
+
+    tb.onHostRx = [&](Cycles t, const Packet &pkt) {
+        if (pkt.flow < stamps.size())
+            stamps[pkt.flow].hostRx = t;
+    };
+
+    tb.onVmRx = [&](Cycles t, const Packet &pkt) {
+        const std::uint64_t id = pkt.flow;
+        if (id < stamps.size())
+            stamps[id].vmRx = t;
+        tb.setIdle(0, false);
+        // Guest side: stack rx, wake netserver, echo, stack tx.
+        Cycles work = net.rxStack + net.socketWake +
+                      f.cycles(cfg.appEchoUs) + net.txStack;
+        if (tb.virtualized())
+            work += net.guestResidual;
+        const Cycles t1 = tb.charge(t, 0, work);
+        tb.queue().scheduleAt(t1, [&tb, &stamps, id, t1] {
+            if (id < stamps.size())
+                stamps[id].vmSend = t1;
+            Packet reply;
+            reply.flow = id;
+            reply.bytes = 1;
+            reply.born = t1;
+            tb.send(t1, 0, reply, [&tb, &stamps, id](Cycles t2) {
+                if (id < stamps.size())
+                    stamps[id].serverTx = t2;
+                // Server application blocks in recv() again.
+                tb.setIdle(0, true);
+            });
+        });
+    };
+
+    // The client: receives the echo, thinks, sends the next request.
+    auto send_request = [&tb, &current](Cycles t) {
+        Packet req;
+        req.flow = current;
+        req.bytes = 1;
+        req.born = t;
+        tb.clientSend(t, req);
+    };
+
+    tb.onClientRx = [&](Cycles t, const Packet &) {
+        ++current;
+        if (current >= static_cast<std::uint64_t>(total))
+            return;
+        const Cycles think = f.cycles(cfg.clientProcessUs);
+        tb.queue().scheduleAt(t + think, [&send_request, t, think] {
+            send_request(t + think);
+        });
+    };
+
+    // Kick off after a settling period.
+    const Cycles t_start = f.cycles(100.0);
+    tb.queue().scheduleAt(t_start,
+                          [&send_request, t_start] {
+                              send_request(t_start);
+                          });
+    tb.run();
+
+    VIRTSIM_ASSERT(current >= static_cast<std::uint64_t>(total),
+                   "TCP_RR incomplete: ", current, " of ", total);
+
+    // Aggregate the measured window (skip warmup).
+    NetperfRrResult out;
+    SampleStat s2r, r2s, r2vr, vr2vs, vs2s;
+    for (int i = cfg.warmup; i < total; ++i) {
+        const auto &s = stamps[static_cast<std::size_t>(i)];
+        VIRTSIM_ASSERT(s.serverTx >= s.vmSend &&
+                       s.vmSend >= s.vmRx && s.vmRx >= s.hostRx,
+                       "TCP_RR stamp ordering broken at txn ", i);
+        r2s.add(f.us(s.serverTx - s.hostRx));
+        r2vr.add(f.us(s.vmRx - s.hostRx));
+        vr2vs.add(f.us(s.vmSend - s.vmRx));
+        vs2s.add(f.us(s.serverTx - s.vmSend));
+        if (i > cfg.warmup) {
+            const auto &prev = stamps[static_cast<std::size_t>(i - 1)];
+            s2r.add(f.us(s.hostRx - prev.serverTx));
+        }
+    }
+    const auto &first = stamps[static_cast<std::size_t>(cfg.warmup)];
+    const auto &last = stamps[static_cast<std::size_t>(total - 1)];
+    const double span_us = f.us(last.serverTx - first.serverTx);
+    out.timePerTransUs = span_us / (cfg.transactions - 1);
+    out.transPerSec = 1e6 / out.timePerTransUs;
+    out.sendToRecvUs = s2r.mean();
+    out.recvToSendUs = r2s.mean();
+    if (tb.virtualized()) {
+        out.recvToVmRecvUs = r2vr.mean();
+        out.vmRecvToVmSendUs = vr2vs.mean();
+        out.vmSendToSendUs = vs2s.mean();
+    }
+    return out;
+}
+
+NetperfStreamResult
+runNetperfStream(Testbed &tb, NetperfStreamConfig cfg)
+{
+    const NetstackCosts &net = tb.netCosts();
+    const Frequency f = tb.freq();
+
+    const Cycles t_start = f.cycles(200.0);
+    const Cycles window = f.cyclesFromSeconds(cfg.windowSeconds);
+    std::uint64_t delivered_bytes = 0;
+    tb.onVmRx = [&](Cycles t, const Packet &pkt) {
+        if (t >= t_start + window)
+            return;
+        // Guest stack processes the (possibly GRO-coalesced)
+        // aggregate and delivers to the netperf sink.
+        const int frames = framesFor(pkt.bytes);
+        Cycles work = net.rxStack +
+                      static_cast<Cycles>(frames - 1) * net.perGroFrame +
+                      f.cycles(cfg.appConsumeUs);
+        if (tb.virtualized())
+            work += net.guestResidual / 4; // amortized, no wakeups
+        tb.charge(t, 0, work);
+        delivered_bytes += pkt.bytes;
+    };
+
+    // The client saturates the wire with MTU frames for the window.
+    // All frames belong to the single netperf TCP connection (one
+    // flow), which is what lets GRO coalesce them.
+    const Cycles frame_gap =
+        f.cyclesFromNs(NetstackCosts::mtuBytes * 8.0 / 10.0);
+    std::uint64_t seq = 0;
+    for (Cycles t = t_start; t < t_start + window; t += frame_gap) {
+        Packet pkt;
+        pkt.flow = 1;
+        pkt.seq = seq++;
+        pkt.bytes = NetstackCosts::mtuBytes;
+        pkt.born = t;
+        tb.clientSend(t, pkt);
+    }
+    tb.run();
+
+    NetperfStreamResult out;
+    out.bytesDelivered = delivered_bytes;
+    out.seconds = cfg.windowSeconds;
+    out.gbps = static_cast<double>(delivered_bytes) * 8.0 /
+               cfg.windowSeconds / 1e9;
+    out.framesDropped =
+        tb.machine().stats().counterValue("nic.rx_dropped") +
+        tb.machine().stats().counterValue("netback.rx_no_request") +
+        tb.machine().stats().counterValue(
+            "netback.rx_backlog_dropped") +
+        tb.machine().stats().counterValue("vhost.rx_no_descriptor") +
+        tb.machine().stats().counterValue("vhost.rx_backlog_dropped");
+    return out;
+}
+
+NetperfStreamResult
+runNetperfMaerts(Testbed &tb, NetperfStreamConfig cfg)
+{
+    const NetstackCosts &net = tb.netCosts();
+    const Frequency f = tb.freq();
+    const std::uint32_t seg_bytes = tb.tsoBytes();
+
+    std::uint64_t client_bytes = 0;
+    std::uint64_t flow = 0;
+    const Cycles t_start = f.cycles(200.0);
+    const Cycles window = f.cyclesFromSeconds(cfg.windowSeconds);
+    bool stop = false;
+
+    // Server transmit routine: TCP segmentation + stack + send.
+    std::function<void(Cycles)> send_segment = [&](Cycles t) {
+        if (stop)
+            return;
+        Packet seg;
+        seg.flow = flow++;
+        seg.bytes = seg_bytes;
+        seg.born = t;
+        const int frames = framesFor(seg.bytes);
+        // The first send pays the cold socket path; a hot
+        // tcp_sendmsg loop on small (regressed) segments costs far
+        // less per call.
+        const Cycles stack = flow == 0 ? net.txStack : f.cycles(2.2);
+        Cycles work = stack +
+                      static_cast<Cycles>(frames - 1) * net.perTsoFrame;
+        if (tb.virtualized())
+            work += net.guestResidual / 4;
+        const Cycles t1 = tb.charge(t, 0, work);
+        tb.queue().scheduleAt(t1, [&, t1, seg] {
+            tb.send(t1, 0, seg, [](Cycles) {});
+        });
+    };
+
+    tb.onClientRx = [&](Cycles t, const Packet &pkt) {
+        if (t >= t_start + window) {
+            stop = true;
+            return;
+        }
+        client_bytes += pkt.bytes;
+        // TCP self-clocking: an ack opens window for the next
+        // segment.
+        send_segment(t);
+    };
+
+    tb.queue().scheduleAt(t_start, [&, t_start] {
+        for (int i = 0; i < cfg.inflightSegments; ++i)
+            send_segment(t_start);
+    });
+    tb.run();
+
+    NetperfStreamResult out;
+    out.bytesDelivered = client_bytes;
+    out.seconds = cfg.windowSeconds;
+    out.gbps = static_cast<double>(client_bytes) * 8.0 /
+               cfg.windowSeconds / 1e9;
+    return out;
+}
+
+} // namespace virtsim

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Netperf v2.6.0-style benchmarks (paper Table IV):
+ *
+ *  - TCP_RR: 1-byte request/response ping-pong, measuring latency.
+ *    Instrumented with the paper's tcpdump-style datalink/VM
+ *    timestamp taps to regenerate the Table V decomposition.
+ *  - TCP_STREAM: client-to-server bulk transfer (receive path into
+ *    the VM — the path where Xen's grant-copy architecture loses
+ *    >250% according to Section V).
+ *  - TCP_MAERTS: server-to-client bulk transfer (transmit path, where
+ *    the Linux TSO-autosizing regression hits Xen).
+ */
+
+#ifndef VIRTSIM_CORE_NETPERF_HH
+#define VIRTSIM_CORE_NETPERF_HH
+
+#include <cstdint>
+
+#include "core/testbed.hh"
+
+namespace virtsim {
+
+/** TCP_RR parameters. */
+struct NetperfRrConfig
+{
+    /** Transactions to measure (after warmup). */
+    int transactions = 200;
+    int warmup = 10;
+    /** Client think time per transaction.
+     *  [calibrated] with the wire latency so native send-to-recv
+     *  lands at 29.7 us (Table V). */
+    double clientProcessUs = 3.5;
+    /** Server application echo processing.
+     *  [calibrated] so native recv-to-send lands at 14.5 us. */
+    double appEchoUs = 1.75;
+};
+
+/** TCP_RR outcome: the Table V columns. */
+struct NetperfRrResult
+{
+    double transPerSec = 0;
+    double timePerTransUs = 0;
+    /** Mean leg durations (microseconds). */
+    double sendToRecvUs = 0;
+    double recvToSendUs = 0;
+    /** VM-internal decomposition; zero on native. */
+    double recvToVmRecvUs = 0;
+    double vmRecvToVmSendUs = 0;
+    double vmSendToSendUs = 0;
+};
+
+/** Run TCP_RR on a testbed. */
+NetperfRrResult runNetperfRr(Testbed &tb,
+                             NetperfRrConfig cfg = NetperfRrConfig{});
+
+/** Bulk-transfer outcome. */
+struct NetperfStreamResult
+{
+    double gbps = 0;
+    std::uint64_t bytesDelivered = 0;
+    double seconds = 0;
+    std::uint64_t framesDropped = 0;
+};
+
+/** Bulk-transfer parameters. */
+struct NetperfStreamConfig
+{
+    /** Measured window of simulated time, seconds. */
+    double windowSeconds = 0.02;
+    /** TCP_MAERTS transmit pipelining (segments in flight). */
+    int inflightSegments = 24;
+    /** Server app consume cost per delivered aggregate. */
+    double appConsumeUs = 0.35;
+};
+
+/** TCP_STREAM: client -> server(VM) receive-path throughput. */
+NetperfStreamResult
+runNetperfStream(Testbed &tb,
+                 NetperfStreamConfig cfg = NetperfStreamConfig{});
+
+/** TCP_MAERTS: server(VM) -> client transmit-path throughput. */
+NetperfStreamResult
+runNetperfMaerts(Testbed &tb,
+                 NetperfStreamConfig cfg = NetperfStreamConfig{});
+
+} // namespace virtsim
+
+#endif // VIRTSIM_CORE_NETPERF_HH

@@ -1,0 +1,143 @@
+#include "core/report.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace virtsim {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : head(std::move(headers))
+{
+    VIRTSIM_ASSERT(!head.empty(), "table needs headers");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    VIRTSIM_ASSERT(cells.size() == head.size(),
+                   "row width ", cells.size(), " != header width ",
+                   head.size());
+    body.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> width(head.size());
+    for (std::size_t i = 0; i < head.size(); ++i)
+        width[i] = head[i].size();
+    for (const auto &row : body) {
+        for (std::size_t i = 0; i < row.size(); ++i)
+            width[i] = std::max(width[i], row[i].size());
+    }
+
+    std::ostringstream oss;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i)
+                oss << "  ";
+            // First column left-aligned (names), rest right-aligned.
+            if (i == 0) {
+                oss << row[i]
+                    << std::string(width[i] - row[i].size(), ' ');
+            } else {
+                oss << std::string(width[i] - row[i].size(), ' ')
+                    << row[i];
+            }
+        }
+        oss << "\n";
+    };
+    emit(head);
+    std::size_t total = head.size() > 0 ? head.size() * 2 - 2 : 0;
+    for (std::size_t w : width)
+        total += w;
+    oss << std::string(total, '-') << "\n";
+    for (const auto &row : body)
+        emit(row);
+    return oss.str();
+}
+
+namespace {
+
+std::string
+csvEscape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+std::string
+TextTable::renderCsv() const
+{
+    std::ostringstream oss;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i)
+                oss << ",";
+            oss << csvEscape(row[i]);
+        }
+        oss << "\n";
+    };
+    emit(head);
+    for (const auto &row : body)
+        emit(row);
+    return oss.str();
+}
+
+std::string
+formatCycles(double cycles)
+{
+    const auto v = static_cast<long long>(std::llround(cycles));
+    std::string digits = std::to_string(v < 0 ? -v : v);
+    std::string out;
+    int count = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (count && count % 3 == 0)
+            out.insert(out.begin(), ',');
+        out.insert(out.begin(), *it);
+        ++count;
+    }
+    if (v < 0)
+        out.insert(out.begin(), '-');
+    return out;
+}
+
+std::string
+formatFixed(double value, int digits)
+{
+    std::ostringstream oss;
+    oss.setf(std::ios::fixed);
+    oss.precision(digits);
+    oss << value;
+    return oss.str();
+}
+
+std::string
+formatDelta(double measured, double reference)
+{
+    if (reference == 0.0)
+        return "n/a";
+    const double pct = (measured - reference) / reference * 100.0;
+    std::ostringstream oss;
+    oss.setf(std::ios::fixed);
+    oss.precision(1);
+    if (pct >= 0)
+        oss << "+";
+    oss << pct << "%";
+    return oss.str();
+}
+
+} // namespace virtsim

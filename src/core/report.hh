@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Plain-text table rendering for the bench harnesses, so each bench
+ * binary prints rows shaped like the paper's tables.
+ */
+
+#ifndef VIRTSIM_CORE_REPORT_HH
+#define VIRTSIM_CORE_REPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace virtsim {
+
+/**
+ * A simple right-aligned text table.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns. */
+    std::string render() const;
+
+    /** Render as CSV (for plotting pipelines). */
+    std::string renderCsv() const;
+
+    std::size_t rows() const { return body.size(); }
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> body;
+};
+
+/** 6500 -> "6,500" (the paper's cycle-count formatting). */
+std::string formatCycles(double cycles);
+
+/** Fixed-point decimal with n digits. */
+std::string formatFixed(double value, int digits);
+
+/** Percentage delta vs a reference ("+8.3%"). */
+std::string formatDelta(double measured, double reference);
+
+} // namespace virtsim
+
+#endif // VIRTSIM_CORE_REPORT_HH

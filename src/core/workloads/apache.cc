@@ -1,0 +1,19 @@
+#include "core/workloads/apache.hh"
+
+namespace virtsim {
+
+double
+ApacheWorkload::run(Testbed &tb)
+{
+    ServerAppParams p;
+    p.concurrency = 100;
+    p.requestBytes = 180;
+    p.responseBytes = 41 * 1024;
+    p.appWorkUs = 60.0;
+    p.rxSoftirqUs = 2.2;
+    p.acksPerResponse = 9;
+    p.clientThinkUs = 25.0;
+    return runRequestResponse(tb, p);
+}
+
+} // namespace virtsim

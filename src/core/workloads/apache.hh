@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Apache 2.4.7 serving the 41 KB GCC manual index to ApacheBench
+ * with 100 concurrent requests (paper Table IV). The response stream
+ * plus client acks concentrate virtual-interrupt work on VCPU0 —
+ * the saturation the E5 ablation relieves. This workload pattern is
+ * also what exposed the Dom0 Mellanox driver panic on Xen x86.
+ */
+
+#ifndef VIRTSIM_CORE_WORKLOADS_APACHE_HH
+#define VIRTSIM_CORE_WORKLOADS_APACHE_HH
+
+#include "core/workloads/workload.hh"
+
+namespace virtsim {
+
+/** Apache web-server workload model. */
+class ApacheWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "Apache"; }
+    double run(Testbed &tb) override;
+    bool triggersDom0Bug() const override { return true; }
+};
+
+} // namespace virtsim
+
+#endif // VIRTSIM_CORE_WORKLOADS_APACHE_HH

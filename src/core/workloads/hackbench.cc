@@ -1,0 +1,18 @@
+#include "core/workloads/hackbench.hh"
+
+namespace virtsim {
+
+double
+HackbenchWorkload::run(Testbed &tb)
+{
+    CpuWorkloadParams p;
+    // [calibrated] hackbench's defining behaviour: "lots of threads
+    // that are sleeping and waking up, requiring frequent IPIs for
+    // rescheduling" (Section V).
+    p.ipisPerSec = 16500.0;
+    p.sensitiveTrapsPerSec = 1200.0;
+    p.windowSeconds = 0.06;
+    return runCpuWorkload(tb, p);
+}
+
+} // namespace virtsim

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Hackbench: 100 process groups x 500 loops over Unix domain
+ * sockets (paper Table IV) — extreme scheduler wakeup (IPI) traffic,
+ * the workload where Xen ARM gains most on KVM ARM (Section V).
+ */
+
+#ifndef VIRTSIM_CORE_WORKLOADS_HACKBENCH_HH
+#define VIRTSIM_CORE_WORKLOADS_HACKBENCH_HH
+
+#include "core/workloads/workload.hh"
+
+namespace virtsim {
+
+/** Scheduler-stress workload model. */
+class HackbenchWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "Hackbench"; }
+    double run(Testbed &tb) override;
+};
+
+} // namespace virtsim
+
+#endif // VIRTSIM_CORE_WORKLOADS_HACKBENCH_HH

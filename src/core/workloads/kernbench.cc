@@ -1,0 +1,18 @@
+#include "core/workloads/kernbench.hh"
+
+namespace virtsim {
+
+double
+KernbenchWorkload::run(Testbed &tb)
+{
+    CpuWorkloadParams p;
+    // [calibrated] compile processes fault on fresh pages constantly;
+    // the per-trap transition-cost difference is what separates the
+    // hypervisors here (tiny everywhere, per Figure 4).
+    p.sensitiveTrapsPerSec = 10500.0;
+    p.trapWorkUs = 0.8;
+    p.ipisPerSec = 900.0; // make/exec wakeups
+    return runCpuWorkload(tb, p);
+}
+
+} // namespace virtsim

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Kernbench: compilation of the Linux 3.17.0 kernel (allnoconfig,
+ * GCC 4.8.2) — fork/exec-heavy compute with constant fresh-page
+ * faults (paper Table IV).
+ */
+
+#ifndef VIRTSIM_CORE_WORKLOADS_KERNBENCH_HH
+#define VIRTSIM_CORE_WORKLOADS_KERNBENCH_HH
+
+#include "core/workloads/workload.hh"
+
+namespace virtsim {
+
+/** Kernel-compile workload model. */
+class KernbenchWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "Kernbench"; }
+    double run(Testbed &tb) override;
+};
+
+} // namespace virtsim
+
+#endif // VIRTSIM_CORE_WORKLOADS_KERNBENCH_HH

@@ -1,0 +1,20 @@
+#include "core/workloads/memcached.hh"
+
+namespace virtsim {
+
+double
+MemcachedWorkload::run(Testbed &tb)
+{
+    ServerAppParams p;
+    p.concurrency = 64;
+    p.requestBytes = 150;
+    p.responseBytes = 1100;
+    p.appWorkUs = 36.0;
+    p.rxSoftirqUs = 1.4;
+    p.acksPerResponse = 0;
+    p.clientThinkUs = 12.0;
+    p.windowSeconds = 0.12;
+    return runRequestResponse(tb, p);
+}
+
+} // namespace virtsim

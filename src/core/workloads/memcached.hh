@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Memcached 1.4.14 under memtier defaults (paper Table IV): tiny
+ * requests at high rate — per-request virtualization cost dominates.
+ */
+
+#ifndef VIRTSIM_CORE_WORKLOADS_MEMCACHED_HH
+#define VIRTSIM_CORE_WORKLOADS_MEMCACHED_HH
+
+#include "core/workloads/workload.hh"
+
+namespace virtsim {
+
+/** Memcached workload model. */
+class MemcachedWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "Memcached"; }
+    double run(Testbed &tb) override;
+};
+
+} // namespace virtsim
+
+#endif // VIRTSIM_CORE_WORKLOADS_MEMCACHED_HH

@@ -1,0 +1,20 @@
+#include "core/workloads/mysql.hh"
+
+namespace virtsim {
+
+double
+MySqlWorkload::run(Testbed &tb)
+{
+    ServerAppParams p;
+    p.concurrency = 200;
+    p.requestBytes = 400;
+    p.responseBytes = 2200;
+    p.appWorkUs = 620.0;
+    p.rxSoftirqUs = 1.4;
+    p.acksPerResponse = 1;
+    p.clientThinkUs = 120.0;
+    p.windowSeconds = 0.3;
+    return runRequestResponse(tb, p);
+}
+
+} // namespace virtsim

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * MySQL 5.5.41 under SysBench with 200 parallel transactions
+ * (paper Table IV): compute-heavy per request, light network
+ * traffic, so overhead stays modest everywhere.
+ */
+
+#ifndef VIRTSIM_CORE_WORKLOADS_MYSQL_HH
+#define VIRTSIM_CORE_WORKLOADS_MYSQL_HH
+
+#include "core/workloads/workload.hh"
+
+namespace virtsim {
+
+/** MySQL/SysBench workload model. */
+class MySqlWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "MySQL"; }
+    double run(Testbed &tb) override;
+};
+
+} // namespace virtsim
+
+#endif // VIRTSIM_CORE_WORKLOADS_MYSQL_HH

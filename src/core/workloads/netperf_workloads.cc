@@ -1,0 +1,25 @@
+#include "core/workloads/netperf_workloads.hh"
+
+#include "core/netperf.hh"
+
+namespace virtsim {
+
+double
+TcpRrWorkload::run(Testbed &tb)
+{
+    return runNetperfRr(tb).transPerSec;
+}
+
+double
+TcpStreamWorkload::run(Testbed &tb)
+{
+    return runNetperfStream(tb).gbps;
+}
+
+double
+TcpMaertsWorkload::run(Testbed &tb)
+{
+    return runNetperfMaerts(tb).gbps;
+}
+
+} // namespace virtsim

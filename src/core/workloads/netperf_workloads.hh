@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The three netperf modes of Table IV wrapped as Figure 4 workloads.
+ */
+
+#ifndef VIRTSIM_CORE_WORKLOADS_NETPERF_WORKLOADS_HH
+#define VIRTSIM_CORE_WORKLOADS_NETPERF_WORKLOADS_HH
+
+#include "core/workloads/workload.hh"
+
+namespace virtsim {
+
+/** Netperf TCP_RR (score = transactions/s). */
+class TcpRrWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "TCP_RR"; }
+    double run(Testbed &tb) override;
+};
+
+/** Netperf TCP_STREAM (score = Gbps into the VM). */
+class TcpStreamWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "TCP_STREAM"; }
+    double run(Testbed &tb) override;
+};
+
+/** Netperf TCP_MAERTS (score = Gbps out of the VM). */
+class TcpMaertsWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "TCP_MAERTS"; }
+    double run(Testbed &tb) override;
+};
+
+} // namespace virtsim
+
+#endif // VIRTSIM_CORE_WORKLOADS_NETPERF_WORKLOADS_HH

@@ -1,0 +1,15 @@
+#include "core/workloads/specjvm.hh"
+
+namespace virtsim {
+
+double
+SpecJvmWorkload::run(Testbed &tb)
+{
+    CpuWorkloadParams p;
+    p.sensitiveTrapsPerSec = 2400.0; // GC page churn
+    p.trapWorkUs = 0.5;
+    p.ipisPerSec = 350.0;
+    return runCpuWorkload(tb, p);
+}
+
+} // namespace virtsim

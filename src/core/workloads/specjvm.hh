@@ -1,0 +1,24 @@
+/**
+ * @file
+ * SPECjvm2008 on the Linaro AArch64 OpenJDK port (paper Table IV):
+ * steady compute, little kernel interaction once warmed up.
+ */
+
+#ifndef VIRTSIM_CORE_WORKLOADS_SPECJVM_HH
+#define VIRTSIM_CORE_WORKLOADS_SPECJVM_HH
+
+#include "core/workloads/workload.hh"
+
+namespace virtsim {
+
+/** JVM compute workload model. */
+class SpecJvmWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "SPECjvm2008"; }
+    double run(Testbed &tb) override;
+};
+
+} // namespace virtsim
+
+#endif // VIRTSIM_CORE_WORKLOADS_SPECJVM_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Application workload models (paper Table IV).
+ *
+ * Each workload is characterized by the virtualization-sensitive
+ * event mix it generates — traps, faults, virtual IPIs, timer ticks,
+ * network packets — plus its plain CPU work. Native scores come from
+ * running the identical model on the native testbed; Figure 4's
+ * normalized overhead is the ratio. Two engines cover the suite:
+ *
+ *  - runCpuWorkload: compute-bound jobs (kernbench, hackbench,
+ *    SPECjvm2008) = saturating CPU work + a stochastic stream of
+ *    kernel events (timer ticks, page faults / sensitive traps,
+ *    rescheduling IPIs).
+ *
+ *  - runRequestResponse: network servers (Apache, Memcached, MySQL)
+ *    = a closed-loop client population driving request/response
+ *    traffic through the full (para)virtual I/O path, with rx
+ *    processing concentrated on the interrupt-target VCPU — the
+ *    paper's identified bottleneck.
+ */
+
+#ifndef VIRTSIM_CORE_WORKLOADS_WORKLOAD_HH
+#define VIRTSIM_CORE_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/testbed.hh"
+#include "sim/random.hh"
+
+namespace virtsim {
+
+/** A runnable application benchmark. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual std::string name() const = 0;
+
+    /**
+     * Run on a testbed; @return a score where higher is better
+     * (requests/s, jobs/s, ...). Scores are only comparable between
+     * runs of the *same* workload.
+     */
+    virtual double run(Testbed &tb) = 0;
+
+    /** Whether the workload trips the Xen x86 Dom0 Mellanox driver
+     *  panic the paper hit with Apache (reported as N/A). */
+    virtual bool triggersDom0Bug() const { return false; }
+};
+
+/** Parameters of a compute-bound workload. */
+struct CpuWorkloadParams
+{
+    double windowSeconds = 0.08;
+    /** Scheduler tick frequency per (V)CPU (CONFIG_HZ=250). */
+    double tickHz = 250.0;
+    /** Hypervisor-sensitive traps (page faults on fresh memory,
+     *  instruction emulation) per second per CPU. */
+    double sensitiveTrapsPerSec = 0.0;
+    /** Handler work per sensitive trap beyond the transition. */
+    double trapWorkUs = 0.8;
+    /** Cross-CPU rescheduling IPIs per second per CPU. */
+    double ipisPerSec = 0.0;
+};
+
+/**
+ * Run a compute-bound workload.
+ * @return score = useful work per second of completion time (so the
+ *         native/virtualized ratio is the Figure 4 overhead).
+ */
+double runCpuWorkload(Testbed &tb, const CpuWorkloadParams &p);
+
+/** Parameters of a request/response server workload. */
+struct ServerAppParams
+{
+    /** Outstanding client requests (closed loop). */
+    int concurrency = 100;
+    std::uint32_t requestBytes = 120;
+    std::uint32_t responseBytes = 0;
+    /** Application processing per request, on a worker CPU. */
+    double appWorkUs = 100.0;
+    /** rx softirq work per inbound event on the interrupt CPU. */
+    double rxSoftirqUs = 1.6;
+    /** Client ACK frames generated per response (delayed acks). */
+    int acksPerResponse = 0;
+    double windowSeconds = 0.25;
+    double clientThinkUs = 30.0;
+};
+
+/** Run a server workload. @return completed requests per second. */
+double runRequestResponse(Testbed &tb, const ServerAppParams &p);
+
+/** The six non-netperf applications of Table IV, in order. */
+std::vector<std::unique_ptr<Workload>> standardAppWorkloads();
+
+/** All twelve Figure 4 workloads (apps + netperf), in figure order. */
+std::vector<std::unique_ptr<Workload>> figure4Workloads();
+
+} // namespace virtsim
+
+#endif // VIRTSIM_CORE_WORKLOADS_WORKLOAD_HH

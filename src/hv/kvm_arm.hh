@@ -1,0 +1,183 @@
+/**
+ * @file
+ * KVM ARM: the split-mode Type 2 hypervisor (paper Sections II, IV).
+ *
+ * KVM cannot run Linux in EL2, so it splits itself: a minimal lowvisor
+ * in EL2 plus the bulk of KVM inside the host kernel in EL1, sharing
+ * EL1 with the VMs. Every VM-to-hypervisor transition therefore pays
+ * the four overheads Section IV enumerates:
+ *
+ *  1. a double trap (VM EL1 -> EL2 -> host EL1, and back);
+ *  2. a full context switch of EL1 system state between guest and
+ *     host, including the expensive VGIC read-back (Table III);
+ *  3. disabling/enabling Stage-2 translation and traps on each
+ *     direction (the host must own the hardware);
+ *  4. VM control state only reachable from EL2 — KVM copies it all to
+ *     memory on every transition (the paper notes KVM chooses this
+ *     over repeated EL2 round trips).
+ *
+ * The exit/enter primitives below implement exactly that sequence;
+ * every Table II KVM ARM row is an emergent composition of them.
+ */
+
+#ifndef VIRTSIM_HV_KVM_ARM_HH
+#define VIRTSIM_HV_KVM_ARM_HH
+
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "hv/hypervisor.hh"
+#include "os/netstack.hh"
+#include "os/vhost.hh"
+
+namespace virtsim {
+
+/**
+ * Software path costs of KVM ARM (Linux 4.0-rc4 era). These are
+ * hypervisor *software* constants, distinct from the hardware
+ * CostModel; ablation benches modify them before start().
+ */
+struct KvmArmParams
+{
+    /** EL2 lowvisor entry/dispatch code, per direction.
+     *  [derived] closes the Table II Hypercall total (6,500) over the
+     *  Table III register costs, traps, and Stage-2 toggles. */
+    Cycles el2Dispatch = 260;
+    /** No-op hypercall handling in the host. [derived] as above. */
+    Cycles hypercallHandler = 104;
+    /** GIC distributor MMIO emulation in the host kernel.
+     *  [derived] Interrupt Controller Trap (7,370) minus the
+     *  hypercall-equivalent round trip. */
+    Cycles vgicDistEmulation = 974;
+    /** SGI (IPI) register emulation: pending update + target lookup.
+     *  [calibrated] lighter than a full distributor access. */
+    Cycles sgiEmulation = 420;
+    /** kvm_vcpu_kick bookkeeping before the physical SGI write. */
+    Cycles kickInitiate = 120;
+    /** Host handler body for the reschedule SGI. */
+    Cycles reschedIrqHandler = 80;
+    /** Host scheduler switch between VCPU threads plus
+     *  vcpu_put/vcpu_load. [derived] VM Switch (10,387) minus
+     *  exit+enter. */
+    Cycles vcpuSwitchWork = 3991;
+    /** ioeventfd signal on a guest kick. [derived] with
+     *  vhostNotifyLatency from I/O Latency Out (6,024). */
+    Cycles ioeventfdSignal = 250;
+    /** Latency until the vhost worker runs after an ioeventfd signal
+     *  (kthread wake on its own dedicated CPU). [derived] see above. */
+    Cycles vhostNotifyLatency = 1228;
+    /** Full wake of a blocked VCPU thread: cross-CPU wake_up, idle
+     *  exit, schedule, KVM run-loop re-entry — everything between the
+     *  irqfd signal and the world-switch back into the VM.
+     *  [derived] I/O Latency In (13,872) minus irqfd + LR + entry +
+     *  guest ack. The magnitude (≈4.7 us) is the paper's point: I/O
+     *  latency is dominated by hypervisor software, not traps. */
+    Cycles vcpuWakeFromIdle = 11272;
+    /** irqfd injection path from the signalling context. */
+    Cycles irqfdInject = 300;
+    /** Guest vector entry to handler dispatch. */
+    Cycles guestIrqDispatch = 100;
+    /** Guest virtio driver: reap one rx descriptor + repost. */
+    Cycles guestDriverRxPop = 720;
+};
+
+/**
+ * The KVM ARM hypervisor model.
+ */
+class KvmArm : public Hypervisor
+{
+  public:
+    explicit KvmArm(Machine &m);
+
+    std::string name() const override { return "KVM ARM"; }
+    HvType type() const override { return HvType::Type2; }
+
+    Vm &createVm(const std::string &name, int n_vcpus,
+                 const std::vector<PcpuId> &pinning) override;
+    void start() override;
+
+    void hypercall(Cycles t, Vcpu &v, Done done) override;
+    void irqControllerTrap(Cycles t, Vcpu &v, Done done) override;
+    void virtualIpi(Cycles t, Vcpu &src, Vcpu &dst, Done done) override;
+    void virqComplete(Cycles t, Vcpu &v, Done done) override;
+    void vmSwitch(Cycles t, Vcpu &from, Vcpu &to, Done done) override;
+    void ioSignalOut(Cycles t, Vcpu &v, Done done) override;
+    void ioSignalIn(Cycles t, Vcpu &v, Done done) override;
+    void injectVirq(Cycles t, Vcpu &v, IrqId virq, Done done) override;
+    void blockVcpu(Vcpu &v) override;
+    void deliverPacketToVm(Cycles t, Vm &vm, const Packet &pkt,
+                           Done done) override;
+    void guestTransmit(Cycles t, Vcpu &v, const Packet &pkt,
+                       Done done) override;
+
+    /** @name Split-mode world-switch primitives (public for tests
+     *  and for the Table III breakdown bench). */
+    ///@{
+    /** Full exit: trap to EL2, save all VM state, flip to the host.
+     *  @return completion time on the VCPU's physical CPU. */
+    virtual Cycles exitToHost(Cycles t, Vcpu &v);
+
+    /** Full entry: trap to EL2, restore all VM state, eret to VM. */
+    virtual Cycles enterVm(Cycles t, Vcpu &v);
+    ///@}
+
+    /** Attach paravirtual networking (virtio + vhost) to a VM. */
+    void attachVirtualNic(Vm &vm, VhostBackend::Params params);
+
+    VhostBackend *vhost() { return _vhost.get(); }
+    const NetstackCosts &netCosts() const { return net; }
+
+    KvmArmParams params;
+
+  protected:
+    /** Per-physical-CPU host-side state. */
+    struct HostCtx
+    {
+        RegFile regs;       ///< host EL1 register values
+        Vcpu *loaded = nullptr;
+        bool inVm = false;
+    };
+
+    VgicDistributor &dist(Vm &vm);
+
+    void onPhysIrq(Cycles t, PcpuId cpu, IrqId irq);
+    void handleKick(Cycles t, PcpuId cpu);
+    void handleNicIrq(Cycles t, PcpuId cpu);
+
+    /** Host-context work: inject a pending virq into a VCPU that the
+     *  host has just kicked out of guest mode, then re-enter. Fires
+     *  done after the guest acknowledges and dispatches. */
+    Cycles flushAndResume(Cycles t, Vcpu &v, Done done);
+
+    /** Deliver-to-guest notification decision: wake, kick, or ride on
+     *  notification suppression. done at the guest driver rx point. */
+    void notifyGuestRx(Cycles t, Vm &vm, const Packet &pkt, Done done);
+
+    /** Drain the guest tx ring through vhost onto the NIC. */
+    void pumpTx(Cycles t);
+
+    std::vector<HostCtx> hostCtx;
+    std::map<VmId, std::unique_ptr<VgicDistributor>> dists;
+    /** Receiver-side actions waiting for a reschedule SGI, per CPU. */
+    std::vector<std::deque<std::function<void(Cycles)>>> kickActions;
+    std::unique_ptr<VhostBackend> _vhost;
+    Vm *netVm = nullptr;
+    NetstackCosts net;
+    /** Per-packet transmit completions, keyed by packet seq. */
+    std::map<std::uint64_t, Done> txDone;
+    /** Whether the vhost worker is actively draining the tx ring
+     *  (guest kicks are suppressed while it is). */
+    bool txPumpActive = false;
+    /** End of the current NAPI-poll window: rx events landing
+     *  inside it ride the in-progress notification instead of
+     *  raising another interrupt (virtio EVENT_IDX / event-channel
+     *  masking). */
+    Cycles rxQuietUntil = 0;
+    /** Frames waiting for tx ring space (virtio backpressure). */
+    std::deque<std::pair<Vcpu *, std::pair<Packet, Done>>> txBacklog;
+};
+
+} // namespace virtsim
+
+#endif // VIRTSIM_HV_KVM_ARM_HH

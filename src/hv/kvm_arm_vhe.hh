@@ -1,0 +1,59 @@
+/**
+ * @file
+ * KVM ARM with the Virtualization Host Extensions (ARMv8.1 VHE) —
+ * the architecture improvement the paper proposes in Section VI and
+ * that ARM adopted.
+ *
+ * With the E2H bit set, EL2 gains a full complement of EL1-equivalent
+ * registers, transparent register-access redirection, and an
+ * EL1-compatible page-table format, so the *whole host kernel* runs
+ * in EL2 unmodified. A VM-to-hypervisor transition then no longer
+ * context-switches EL1 state: the guest's EL1 system registers, VGIC
+ * and timer state stay live in hardware while the host works from its
+ * own EL2-backed copies. Only the general-purpose registers move —
+ * exactly the Type 1 fast path, now available to a Type 2 design.
+ *
+ * The paper could not measure VHE (no silicon existed; KVM's VHE
+ * patches were developed on ARM software models), so this model is
+ * the projection apparatus for the E7 bench: Section VI predicts
+ * "improving Hypercall and I/O Latency Out performance by more than
+ * an order of magnitude" and "more realistic I/O workloads by 10% to
+ * 20%".
+ */
+
+#ifndef VIRTSIM_HV_KVM_ARM_VHE_HH
+#define VIRTSIM_HV_KVM_ARM_VHE_HH
+
+#include "hv/kvm_arm.hh"
+
+namespace virtsim {
+
+/**
+ * KVM ARM running on VHE hardware (host kernel in EL2).
+ */
+class KvmArmVhe : public KvmArm
+{
+  public:
+    explicit KvmArmVhe(Machine &m);
+
+    std::string name() const override { return "KVM ARM (VHE)"; }
+
+    /** VHE exit: a plain trap into the (EL2-resident) host — GP
+     *  registers only, no Stage-2 toggling, no EL1 switch. */
+    Cycles exitToHost(Cycles t, Vcpu &v) override;
+
+    /** VHE entry: restore GP registers and eret. */
+    Cycles enterVm(Cycles t, Vcpu &v) override;
+
+    /** VM switch still moves the full EL1 world between VMs — VHE
+     *  removes the host from EL1 but the VMs still live there. */
+    void vmSwitch(Cycles t, Vcpu &from, Vcpu &to, Done done) override;
+
+    /** Host-kernel dispatch after a trap to EL2 (replaces the
+     *  split-mode lowvisor + host round trip). [calibrated] */
+    Cycles vheDispatch = 100;
+};
+
+} // namespace virtsim
+
+#endif // VIRTSIM_HV_KVM_ARM_VHE_HH

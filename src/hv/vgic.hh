@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Virtual GIC distributor emulation state.
+ *
+ * Both hypervisors emulate the GIC distributor in software; the
+ * difference the paper highlights is *where*: Xen ARM emulates it in
+ * the hypervisor in EL2 (cheap to reach), KVM ARM in the host kernel
+ * in EL1 (reached via a full split-mode world switch). This class is
+ * the shared software state — pending virtual interrupts per VCPU —
+ * while each hypervisor charges its own access path cost.
+ */
+
+#ifndef VIRTSIM_HV_VGIC_HH
+#define VIRTSIM_HV_VGIC_HH
+
+#include <vector>
+
+#include "hv/vm.hh"
+#include "hw/gic.hh"
+#include "sim/types.hh"
+
+namespace virtsim {
+
+/**
+ * Software model of one VM's virtual distributor.
+ */
+class VgicDistributor
+{
+  public:
+    explicit VgicDistributor(Vm &vm) : vm(&vm) {}
+
+    /** Mark a virtual interrupt pending for a VCPU (SPI routed to it,
+     *  or an SGI targeting it). */
+    void
+    setPending(VcpuId target, IrqId virq)
+    {
+        vm->pendingVirqs()[static_cast<std::size_t>(target)]
+            .push_back(virq);
+    }
+
+    bool
+    hasPending(VcpuId target) const
+    {
+        return !vm->pendingVirqs()[static_cast<std::size_t>(target)]
+                    .empty();
+    }
+
+    /**
+     * Pop the next pending virtual interrupt for a VCPU, to be
+     * programmed into a hardware list register ("flush" in KVM
+     * terminology). @return -1 if none pending.
+     */
+    IrqId
+    popPending(VcpuId target)
+    {
+        auto &q = vm->pendingVirqs()[static_cast<std::size_t>(target)];
+        if (q.empty())
+            return -1;
+        const IrqId virq = q.front();
+        q.erase(q.begin());
+        return virq;
+    }
+
+  private:
+    Vm *vm;
+};
+
+} // namespace virtsim
+
+#endif // VIRTSIM_HV_VGIC_HH

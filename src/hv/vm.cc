@@ -1,0 +1,52 @@
+#include "hv/vm.hh"
+
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace virtsim {
+
+Vcpu::Vcpu(Vm &vm, VcpuId id, PcpuId pinned)
+    : _vm(&vm), _id(id), _pcpu(pinned)
+{
+}
+
+std::string
+Vcpu::name() const
+{
+    std::ostringstream oss;
+    oss << _vm->name() << "/vcpu" << _id;
+    return oss.str();
+}
+
+Vm::Vm(VmId id, std::string name, VmKind kind, int n_vcpus,
+       const std::vector<PcpuId> &pinning)
+    : _id(id), _name(std::move(name)), _kind(kind), _stage2(id),
+      _pending(static_cast<std::size_t>(n_vcpus))
+{
+    VIRTSIM_ASSERT(static_cast<int>(pinning.size()) == n_vcpus,
+                   "vm ", _name, ": pinning size ", pinning.size(),
+                   " != vcpus ", n_vcpus);
+    for (int i = 0; i < n_vcpus; ++i) {
+        vcpus.push_back(std::make_unique<Vcpu>(
+            *this, i, pinning[static_cast<std::size_t>(i)]));
+    }
+}
+
+Vcpu &
+Vm::vcpu(VcpuId id)
+{
+    VIRTSIM_ASSERT(id >= 0 && id < numVcpus(), "bad vcpu id ", id,
+                   " in ", _name);
+    return *vcpus[static_cast<std::size_t>(id)];
+}
+
+const Vcpu &
+Vm::vcpu(VcpuId id) const
+{
+    VIRTSIM_ASSERT(id >= 0 && id < numVcpus(), "bad vcpu id ", id,
+                   " in ", _name);
+    return *vcpus[static_cast<std::size_t>(id)];
+}
+
+} // namespace virtsim

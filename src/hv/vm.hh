@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Virtual machines and virtual CPUs.
+ *
+ * A Vm owns VCPUs, Stage-2 tables and software interrupt state. The
+ * VCPU save area is a real RegFile: world switches move actual
+ * register values between it and the physical CPU, so isolation and
+ * state-preservation are testable properties, not assumptions.
+ *
+ * Xen's special domains are ordinary Vms with a different kind: Dom0
+ * (privileged, runs the I/O backends) and the idle domain (what a
+ * physical CPU runs when no real domain is runnable — switching away
+ * from it is a real cost the paper identifies on Xen's I/O paths).
+ */
+
+#ifndef VIRTSIM_HV_VM_HH
+#define VIRTSIM_HV_VM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/cpu.hh"
+#include "hw/mmu.hh"
+#include "sim/types.hh"
+
+namespace virtsim {
+
+class Vm;
+
+/** What a VCPU is currently doing. */
+enum class VcpuState
+{
+    Running, ///< executing guest code on its physical CPU
+    Idle,    ///< guest is idle (WFI / blocked); PCPU may run others
+    InHyp,   ///< trapped; the hypervisor is handling an exit
+};
+
+/**
+ * A virtual CPU, pinned to a physical CPU (the paper pins every VCPU
+ * to a dedicated PCPU per Section III's methodology).
+ */
+class Vcpu
+{
+  public:
+    Vcpu(Vm &vm, VcpuId id, PcpuId pinned);
+
+    Vm &vm() const { return *_vm; }
+    VcpuId id() const { return _id; }
+    PcpuId pcpu() const { return _pcpu; }
+
+    VcpuState state() const { return _state; }
+    void setState(VcpuState s) { _state = s; }
+
+    /** In-memory register save area used while not loaded. */
+    RegFile &savedRegs() { return _saved; }
+    const RegFile &savedRegs() const { return _saved; }
+
+    /** Whether this VCPU's state is live on its physical CPU. */
+    bool loaded() const { return _loaded; }
+    void setLoaded(bool l) { _loaded = l; }
+
+    /** Debug name like "vm1/vcpu0". */
+    std::string name() const;
+
+  private:
+    Vm *_vm;
+    VcpuId _id;
+    PcpuId _pcpu;
+    VcpuState _state = VcpuState::Idle;
+    RegFile _saved;
+    bool _loaded = false;
+};
+
+/** Role of a VM in the system. */
+enum class VmKind
+{
+    Guest, ///< ordinary VM (Xen DomU / KVM guest)
+    Dom0,  ///< Xen privileged I/O domain
+    Idle,  ///< Xen idle domain
+};
+
+/**
+ * A virtual machine.
+ */
+class Vm
+{
+  public:
+    Vm(VmId id, std::string name, VmKind kind, int n_vcpus,
+       const std::vector<PcpuId> &pinning);
+
+    Vm(const Vm &) = delete;
+    Vm &operator=(const Vm &) = delete;
+
+    VmId id() const { return _id; }
+    const std::string &name() const { return _name; }
+    VmKind kind() const { return _kind; }
+
+    int numVcpus() const { return static_cast<int>(vcpus.size()); }
+    Vcpu &vcpu(VcpuId id);
+    const Vcpu &vcpu(VcpuId id) const;
+
+    Stage2Tables &stage2() { return _stage2; }
+
+    /** Software-pending virtual interrupts per VCPU, maintained by
+     *  the hypervisor's distributor emulation (see hv/vgic.hh). */
+    std::vector<std::vector<IrqId>> &pendingVirqs() { return _pending; }
+
+  private:
+    VmId _id;
+    std::string _name;
+    VmKind _kind;
+    std::vector<std::unique_ptr<Vcpu>> vcpus;
+    Stage2Tables _stage2;
+    std::vector<std::vector<IrqId>> _pending;
+};
+
+} // namespace virtsim
+
+#endif // VIRTSIM_HV_VM_HH

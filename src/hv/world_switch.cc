@@ -1,0 +1,48 @@
+#include "hv/world_switch.hh"
+
+namespace virtsim {
+
+Cycles
+WorldSwitchEngine::save(PhysicalCpu &cpu, RegFile &save_area,
+                        std::initializer_list<RegClass> classes)
+{
+    Cycles total = 0;
+    for (RegClass cls : classes) {
+        save_area.copyClassFrom(cpu.regs(), cls);
+        const Cycles c = cm.cost(cls).save;
+        total += c;
+        if (recording)
+            recs.push_back(SwitchRecord{cls, true, c});
+    }
+    return total;
+}
+
+Cycles
+WorldSwitchEngine::restore(PhysicalCpu &cpu, const RegFile &save_area,
+                           std::initializer_list<RegClass> classes)
+{
+    Cycles total = 0;
+    for (RegClass cls : classes) {
+        cpu.regs().copyClassFrom(save_area, cls);
+        const Cycles c = cm.cost(cls).restore;
+        total += c;
+        if (recording)
+            recs.push_back(SwitchRecord{cls, false, c});
+    }
+    return total;
+}
+
+void
+WorldSwitchEngine::startRecording()
+{
+    recs.clear();
+    recording = true;
+}
+
+void
+WorldSwitchEngine::stopRecording()
+{
+    recording = false;
+}
+
+} // namespace virtsim

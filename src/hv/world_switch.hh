@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The world-switch engine: saving and restoring register state between
+ * physical CPUs and in-memory save areas, with per-class cycle
+ * accounting.
+ *
+ * This is the mechanism behind the paper's central architectural
+ * observation: ARM leaves the *choice* of what to switch to software.
+ * Xen ARM switches only GP registers on a hypercall; split-mode KVM
+ * ARM must switch everything (Table III); VHE lets a Type 2 hypervisor
+ * switch almost nothing. The engine both moves the actual register
+ * values (so tests can check isolation) and returns the cycle cost,
+ * and can record a per-class breakdown — which is exactly how the
+ * Table III bench gets its numbers.
+ */
+
+#ifndef VIRTSIM_HV_WORLD_SWITCH_HH
+#define VIRTSIM_HV_WORLD_SWITCH_HH
+
+#include <initializer_list>
+#include <vector>
+
+#include "hw/cost_model.hh"
+#include "hw/cpu.hh"
+#include "sim/types.hh"
+
+namespace virtsim {
+
+/** One recorded save or restore of one register class. */
+struct SwitchRecord
+{
+    RegClass cls;
+    bool isSave;
+    Cycles cost;
+};
+
+/**
+ * Moves register state and accounts cycles.
+ */
+class WorldSwitchEngine
+{
+  public:
+    explicit WorldSwitchEngine(const CostModel &cm) : cm(cm) {}
+
+    /**
+     * Save the listed register classes from the CPU's live registers
+     * into a save area.
+     * @return total cycle cost (the caller charges it to the CPU).
+     */
+    Cycles save(PhysicalCpu &cpu, RegFile &save_area,
+                std::initializer_list<RegClass> classes);
+
+    /** Restore the listed classes from a save area into the CPU. */
+    Cycles restore(PhysicalCpu &cpu, const RegFile &save_area,
+                   std::initializer_list<RegClass> classes);
+
+    /** @name Breakdown recording (Table III) */
+    ///@{
+    /** Start recording per-class costs. Clears prior records. */
+    void startRecording();
+    void stopRecording();
+    const std::vector<SwitchRecord> &records() const { return recs; }
+    ///@}
+
+    const CostModel &costs() const { return cm; }
+
+  private:
+    const CostModel &cm;
+    bool recording = false;
+    std::vector<SwitchRecord> recs;
+};
+
+/** The full ARM VM state a split-mode Type 2 hypervisor must switch
+ *  on every transition (paper Section IV, Table III). */
+inline constexpr std::initializer_list<RegClass> kvmArmSwitchedState = {
+    RegClass::Gp,        RegClass::Fp,       RegClass::El1Sys,
+    RegClass::Vgic,      RegClass::Timer,    RegClass::El2Config,
+    RegClass::El2VirtMem,
+};
+
+/** What Xen ARM switches on a plain hypercall: GP registers only. */
+inline constexpr std::initializer_list<RegClass> xenHypercallState = {
+    RegClass::Gp,
+};
+
+/** The EL1 state Xen ARM switches when switching *between VMs*
+ *  (it shares none of it with a host OS, but a different VM needs its
+ *  own EL1 world — paper Section IV, VM Switch discussion). */
+inline constexpr std::initializer_list<RegClass> xenVmSwitchState = {
+    RegClass::Gp,        RegClass::Fp,    RegClass::El1Sys,
+    RegClass::Vgic,      RegClass::Timer, RegClass::El2Config,
+    RegClass::El2VirtMem,
+};
+
+} // namespace virtsim
+
+#endif // VIRTSIM_HV_WORLD_SWITCH_HH

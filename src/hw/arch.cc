@@ -1,0 +1,97 @@
+#include "hw/arch.hh"
+
+#include "sim/log.hh"
+
+namespace virtsim {
+
+std::string
+to_string(Arch arch)
+{
+    switch (arch) {
+      case Arch::Arm:
+        return "ARM";
+      case Arch::X86:
+        return "x86";
+    }
+    panic("bad Arch");
+}
+
+std::string
+to_string(CpuMode mode)
+{
+    switch (mode) {
+      case CpuMode::El0:
+        return "EL0";
+      case CpuMode::El1:
+        return "EL1";
+      case CpuMode::El2:
+        return "EL2";
+      case CpuMode::UserNonRoot:
+        return "user/non-root";
+      case CpuMode::KernelNonRoot:
+        return "kernel/non-root";
+      case CpuMode::UserRoot:
+        return "user/root";
+      case CpuMode::KernelRoot:
+        return "kernel/root";
+    }
+    panic("bad CpuMode");
+}
+
+bool
+isGuestMode(CpuMode mode)
+{
+    switch (mode) {
+      case CpuMode::El0:
+      case CpuMode::El1:
+        // On ARM, EL0/EL1 host both guests and (for Type 2) the host
+        // OS; whether the occupant is a guest is tracked by the
+        // hypervisor, not the mode. These are the modes guests *can*
+        // run in.
+        return true;
+      case CpuMode::UserNonRoot:
+      case CpuMode::KernelNonRoot:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+modeBelongsTo(CpuMode mode, Arch arch)
+{
+    switch (mode) {
+      case CpuMode::El0:
+      case CpuMode::El1:
+      case CpuMode::El2:
+        return arch == Arch::Arm;
+      default:
+        return arch == Arch::X86;
+    }
+}
+
+std::string
+to_string(RegClass cls)
+{
+    switch (cls) {
+      case RegClass::Gp:
+        return "GP Regs";
+      case RegClass::Fp:
+        return "FP Regs";
+      case RegClass::El1Sys:
+        return "EL1 System Regs";
+      case RegClass::Vgic:
+        return "VGIC Regs";
+      case RegClass::Timer:
+        return "Timer Regs";
+      case RegClass::El2Config:
+        return "EL2 Config Regs";
+      case RegClass::El2VirtMem:
+        return "EL2 Virtual Memory Regs";
+      case RegClass::Vmcs:
+        return "VMCS State";
+    }
+    panic("bad RegClass");
+}
+
+} // namespace virtsim

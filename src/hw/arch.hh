@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Architecture-level enumerations shared by the hardware substrate and
+ * the hypervisor models: CPU architectures, privilege modes, and the
+ * register classes whose save/restore costs the paper's Table III
+ * quantifies.
+ */
+
+#ifndef VIRTSIM_HW_ARCH_HH
+#define VIRTSIM_HW_ARCH_HH
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace virtsim {
+
+/** The two server architectures studied by the paper. */
+enum class Arch
+{
+    Arm, ///< ARMv8-A (HP Moonshot m400, APM X-Gene Atlas, 2.4 GHz)
+    X86, ///< x86-64 with VT-x (Dell r320, Xeon E5-2450, 2.1 GHz)
+};
+
+std::string to_string(Arch arch);
+
+/**
+ * CPU execution mode.
+ *
+ * ARM exposes exception levels EL0/EL1/EL2; EL2 is a *separate* mode
+ * with its own register state. x86 root/non-root mode is orthogonal to
+ * the privilege rings, so we enumerate the four combinations that
+ * matter for hypervisor control flow.
+ */
+enum class CpuMode
+{
+    // ARM
+    El0,           ///< user (VM user or host user)
+    El1,           ///< kernel (VM kernel or host kernel)
+    El2,           ///< hypervisor
+    // x86
+    UserNonRoot,   ///< VM user
+    KernelNonRoot, ///< VM kernel
+    UserRoot,      ///< host user
+    KernelRoot,    ///< host kernel / hypervisor
+};
+
+std::string to_string(CpuMode mode);
+
+/** @return true if the mode is a guest (VM) execution mode. */
+bool isGuestMode(CpuMode mode);
+
+/** @return true if the mode belongs to the given architecture. */
+bool modeBelongsTo(CpuMode mode, Arch arch);
+
+/**
+ * Classes of register state that a world switch may need to save and
+ * restore. The ARM entries are exactly the rows of the paper's
+ * Table III; Vmcs represents the x86 state block that the hardware
+ * itself transfers on VM entry/exit.
+ */
+enum class RegClass
+{
+    Gp,         ///< general-purpose registers
+    Fp,         ///< floating-point/SIMD registers
+    El1Sys,     ///< EL1 system registers (TTBRx_EL1, SCTLR_EL1, ...)
+    Vgic,       ///< GIC virtual interface control (list registers etc.)
+    Timer,      ///< generic timer registers
+    El2Config,  ///< EL2 configuration (HCR_EL2, trap configuration)
+    El2VirtMem, ///< EL2 virtual memory config (VTTBR_EL2, VTCR_EL2)
+    Vmcs,       ///< x86: state switched to/from the VMCS by hardware
+};
+
+inline constexpr std::size_t numRegClasses = 8;
+
+std::string to_string(RegClass cls);
+
+/** All ARM register classes, in Table III order. */
+inline constexpr std::array<RegClass, 7> armRegClasses = {
+    RegClass::Gp,        RegClass::Fp,       RegClass::El1Sys,
+    RegClass::Vgic,      RegClass::Timer,    RegClass::El2Config,
+    RegClass::El2VirtMem,
+};
+
+} // namespace virtsim
+
+#endif // VIRTSIM_HW_ARCH_HH

@@ -1,0 +1,154 @@
+#include "hw/gic.hh"
+
+#include "sim/log.hh"
+
+namespace virtsim {
+
+IrqChip::IrqChip(EventQueue &eq, const CostModel &cm, StatRegistry &stats)
+    : eq(eq), cm(cm), stats(stats)
+{
+}
+
+PcpuId
+IrqChip::externalRoute(IrqId irq) const
+{
+    auto it = routes.find(irq);
+    return it == routes.end() ? PcpuId{0} : it->second;
+}
+
+void
+IrqChip::raiseExternal(Cycles t, IrqId irq)
+{
+    stats.counter("irqchip.external_raised").inc();
+    deliver(t, externalRoute(irq), irq);
+}
+
+void
+IrqChip::raisePpi(Cycles t, PcpuId cpu, IrqId irq)
+{
+    stats.counter("irqchip.ppi_raised").inc();
+    deliver(t, cpu, irq);
+}
+
+void
+IrqChip::sendIpi(Cycles t, PcpuId target, IrqId irq)
+{
+    stats.counter("irqchip.ipi_sent").inc();
+    deliver(t + cm.ipiFlight, target, irq);
+}
+
+void
+IrqChip::deliver(Cycles t, PcpuId cpu, IrqId irq)
+{
+    VIRTSIM_ASSERT(handler, "no physical IRQ handler installed");
+    // Schedule rather than call: delivery must respect event ordering
+    // even when t == now.
+    eq.scheduleAt(t, [this, t, cpu, irq] { handler(t, cpu, irq); });
+}
+
+Gic::Gic(EventQueue &eq, const CostModel &cm, StatRegistry &stats,
+         int n_cpus)
+    : IrqChip(eq, cm, stats), lrs(static_cast<std::size_t>(n_cpus))
+{
+}
+
+int
+Gic::injectVirq(Cycles t, PcpuId cpu, IrqId virq)
+{
+    (void)t;
+    auto &regs = listRegs(cpu);
+    for (std::size_t i = 0; i < regs.size(); ++i) {
+        if (regs[i].empty()) {
+            regs[i].virq = virq;
+            regs[i].pending = true;
+            regs[i].active = false;
+            stats.counter("gic.virq_injected").inc();
+            return static_cast<int>(i);
+        }
+    }
+    stats.counter("gic.lr_overflow").inc();
+    return -1;
+}
+
+std::array<ListReg, numListRegs> &
+Gic::listRegs(PcpuId cpu)
+{
+    VIRTSIM_ASSERT(cpu >= 0 && static_cast<std::size_t>(cpu) < lrs.size(),
+                   "bad pcpu ", cpu);
+    return lrs[static_cast<std::size_t>(cpu)];
+}
+
+IrqId
+Gic::guestAckVirq(PcpuId cpu)
+{
+    auto &regs = listRegs(cpu);
+    for (auto &lr : regs) {
+        if (!lr.empty() && lr.pending) {
+            lr.pending = false;
+            lr.active = true;
+            stats.counter("gic.guest_ack").inc();
+            return lr.virq;
+        }
+    }
+    return -1;
+}
+
+Cycles
+Gic::guestCompleteVirq(PcpuId cpu, IrqId virq)
+{
+    auto &regs = listRegs(cpu);
+    for (auto &lr : regs) {
+        if (lr.virq == virq && lr.active) {
+            lr.clear();
+            stats.counter("gic.guest_complete").inc();
+            return cm.virqCompletionInVm;
+        }
+    }
+    // Completing an interrupt that is not active is a guest bug in a
+    // real system; tolerate it but count it.
+    stats.counter("gic.spurious_complete").inc();
+    return cm.virqCompletionInVm;
+}
+
+bool
+Gic::anyVirqLive(PcpuId cpu) const
+{
+    const auto &regs = lrs[static_cast<std::size_t>(cpu)];
+    for (const auto &lr : regs) {
+        if (!lr.empty())
+            return true;
+    }
+    return false;
+}
+
+Apic::Apic(EventQueue &eq, const CostModel &cm, StatRegistry &stats,
+           int n_cpus)
+    : IrqChip(eq, cm, stats),
+      pendingVirq(static_cast<std::size_t>(n_cpus), -1)
+{
+}
+
+Cycles
+Apic::injectVirq(Cycles t, PcpuId cpu, IrqId virq)
+{
+    (void)t;
+    VIRTSIM_ASSERT(cpu >= 0 &&
+                   static_cast<std::size_t>(cpu) < pendingVirq.size(),
+                   "bad pcpu ", cpu);
+    pendingVirq[static_cast<std::size_t>(cpu)] = virq;
+    stats.counter("apic.virq_injected").inc();
+    return cm.listRegWrite;
+}
+
+IrqId
+Apic::guestAckVirq(PcpuId cpu)
+{
+    auto &slot = pendingVirq[static_cast<std::size_t>(cpu)];
+    const IrqId virq = slot;
+    slot = -1;
+    if (virq >= 0)
+        stats.counter("apic.guest_ack").inc();
+    return virq;
+}
+
+} // namespace virtsim

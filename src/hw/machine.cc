@@ -1,0 +1,72 @@
+#include "hw/machine.hh"
+
+#include "sim/log.hh"
+
+namespace virtsim {
+
+MachineConfig
+MachineConfig::hpMoonshotM400()
+{
+    MachineConfig c;
+    c.name = "hp-moonshot-m400";
+    c.costs = CostModel::armAtlas();
+    c.nCpus = 8;
+    c.ramGib = 64;
+    // Adaptive interrupt moderation: immediate at request-response
+    // rates, coalescing under streaming load (~30 us window).
+    c.nicParams.coalesceWindow = 72000;
+    return c;
+}
+
+MachineConfig
+MachineConfig::dellR320()
+{
+    MachineConfig c;
+    c.name = "dell-r320";
+    c.costs = CostModel::x86Xeon();
+    c.nCpus = 8; // hyperthreading disabled: 8 physical cores
+    c.ramGib = 16;
+    c.nicParams.coalesceWindow = 63000; // ~30 us at 2.1 GHz
+    return c;
+}
+
+Machine::Machine(EventQueue &eq, MachineConfig config)
+    : cfg(std::move(config)), eq(eq),
+      _mmu(cfg.costs, _stats, cfg.nCpus), _memory(cfg.costs, _stats)
+{
+    VIRTSIM_ASSERT(cfg.nCpus > 0, "machine needs at least one cpu");
+    for (int i = 0; i < cfg.nCpus; ++i)
+        cpus.push_back(std::make_unique<PhysicalCpu>(i, eq, cfg.costs));
+
+    if (cfg.costs.arch == Arch::Arm)
+        chip = std::make_unique<Gic>(eq, cfg.costs, _stats, cfg.nCpus);
+    else
+        chip = std::make_unique<Apic>(eq, cfg.costs, _stats, cfg.nCpus);
+
+    _timers = std::make_unique<TimerBank>(eq, *chip, cfg.nCpus);
+    _nic = std::make_unique<Nic>(eq, *chip, _stats, cfg.costs.freq,
+                                 cfg.nicParams);
+}
+
+PhysicalCpu &
+Machine::cpu(PcpuId id)
+{
+    VIRTSIM_ASSERT(id >= 0 && id < numCpus(), "bad pcpu id ", id);
+    return *cpus[static_cast<std::size_t>(id)];
+}
+
+Gic &
+Machine::gic()
+{
+    VIRTSIM_ASSERT(arch() == Arch::Arm, "gic() on non-ARM machine");
+    return static_cast<Gic &>(*chip);
+}
+
+Apic &
+Machine::apic()
+{
+    VIRTSIM_ASSERT(arch() == Arch::X86, "apic() on non-x86 machine");
+    return static_cast<Apic &>(*chip);
+}
+
+} // namespace virtsim

@@ -1,0 +1,90 @@
+#include "hw/nic.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace virtsim {
+
+Nic::Nic(EventQueue &eq, IrqChip &chip, StatRegistry &stats,
+         const Frequency &freq, Params params)
+    : eq(eq), chip(chip), stats(stats), freq(freq), params(params)
+{
+}
+
+Nic::Nic(EventQueue &eq, IrqChip &chip, StatRegistry &stats,
+         const Frequency &freq)
+    : Nic(eq, chip, stats, freq, Params{})
+{
+}
+
+void
+Nic::receiveFromWire(Cycles t, const Packet &pkt)
+{
+    stats.counter("nic.rx_packets").inc();
+    stats.counter("nic.rx_bytes").inc(pkt.bytes);
+    const Cycles ready = t + params.rxDmaLatency;
+    eq.scheduleAt(ready, [this, ready, pkt] {
+        if (rxQueue.size() >= params.rxQueueCap) {
+            stats.counter("nic.rx_dropped").inc();
+            return;
+        }
+        rxQueue.push_back(pkt);
+        if (params.coalesceWindow > 0 && ready < coalesceUntil) {
+            // Within a coalescing window: no immediate interrupt,
+            // but arm the end-of-window flush so a burst that stops
+            // mid-window is still delivered (real adaptive
+            // moderation fires at the window boundary).
+            stats.counter("nic.rx_coalesced").inc();
+            if (!windowIrqPending) {
+                windowIrqPending = true;
+                eq.scheduleAt(coalesceUntil, [this] {
+                    windowIrqPending = false;
+                    if (!rxQueue.empty())
+                        chip.raiseExternal(eq.now(), spiNicIrq);
+                });
+            }
+            return;
+        }
+        coalesceUntil = ready + params.coalesceWindow;
+        chip.raiseExternal(ready, spiNicIrq);
+    });
+}
+
+bool
+Nic::popRx(Packet &out)
+{
+    if (rxQueue.empty())
+        return false;
+    out = rxQueue.front();
+    rxQueue.pop_front();
+    return true;
+}
+
+void
+Nic::transmit(Cycles t, const Packet &pkt)
+{
+    stats.counter("nic.tx_packets").inc();
+    stats.counter("nic.tx_bytes").inc(pkt.bytes);
+    const Cycles fetch_done = t + params.txDmaLatency;
+    // Serialize onto the wire at line rate: packets queue behind the
+    // transmitter when the CPU outruns 10 GbE.
+    const Cycles start = std::max(fetch_done, txWireFree);
+    const Cycles done = start + serializationDelay(pkt.bytes);
+    txWireFree = done;
+    eq.scheduleAt(done, [this, done, pkt] {
+        if (onWireTx)
+            onWireTx(done, pkt);
+    });
+}
+
+Cycles
+Nic::serializationDelay(std::uint32_t bytes) const
+{
+    // bits / (Gbit/s) = ns; convert to cycles.
+    const double ns =
+        static_cast<double>(bytes) * 8.0 / params.lineRateGbps;
+    return freq.cyclesFromNs(ns);
+}
+
+} // namespace virtsim

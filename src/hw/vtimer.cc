@@ -1,0 +1,50 @@
+#include "hw/vtimer.hh"
+
+#include "sim/log.hh"
+
+namespace virtsim {
+
+TimerBank::TimerBank(EventQueue &eq, IrqChip &chip, int n_cpus, IrqId irq)
+    : eq(eq), chip(chip), irq(irq),
+      slots(static_cast<std::size_t>(n_cpus))
+{
+}
+
+void
+TimerBank::program(PcpuId cpu, Cycles deadline)
+{
+    auto &slot = slots.at(static_cast<std::size_t>(cpu));
+    slot.isArmed = true;
+    slot.when = deadline;
+    const std::uint64_t gen = ++slot.gen;
+    eq.scheduleAt(deadline, [this, cpu, gen, deadline] {
+        auto &s = slots[static_cast<std::size_t>(cpu)];
+        if (!s.isArmed || s.gen != gen)
+            return; // cancelled or reprogrammed
+        s.isArmed = false;
+        // The timer raises a physical PPI on its own CPU; no routing.
+        chip.raisePpi(deadline, cpu, irq);
+    });
+}
+
+void
+TimerBank::cancel(PcpuId cpu)
+{
+    auto &slot = slots.at(static_cast<std::size_t>(cpu));
+    slot.isArmed = false;
+    ++slot.gen;
+}
+
+bool
+TimerBank::armed(PcpuId cpu) const
+{
+    return slots.at(static_cast<std::size_t>(cpu)).isArmed;
+}
+
+Cycles
+TimerBank::deadline(PcpuId cpu) const
+{
+    return slots.at(static_cast<std::size_t>(cpu)).when;
+}
+
+} // namespace virtsim

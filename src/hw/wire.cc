@@ -1,0 +1,27 @@
+#include "hw/wire.hh"
+
+#include "sim/log.hh"
+
+namespace virtsim {
+
+void
+Wire::sendToServer(Cycles t, const Packet &pkt)
+{
+    VIRTSIM_ASSERT(toServer, "wire has no server endpoint");
+    stats.counter("wire.to_server").inc();
+    eq.scheduleAt(t + latency, [this, t, pkt] {
+        toServer(t + latency, pkt);
+    });
+}
+
+void
+Wire::sendToClient(Cycles t, const Packet &pkt)
+{
+    VIRTSIM_ASSERT(toClient, "wire has no client endpoint");
+    stats.counter("wire.to_client").inc();
+    eq.scheduleAt(t + latency, [this, t, pkt] {
+        toClient(t + latency, pkt);
+    });
+}
+
+} // namespace virtsim

@@ -1,0 +1,63 @@
+#include "os/kernel.hh"
+
+#include "sim/log.hh"
+
+namespace virtsim {
+
+int
+framesFor(std::uint64_t bytes)
+{
+    if (bytes == 0)
+        return 1; // a bare (e.g. 1-byte-less) frame still crosses
+    return static_cast<int>((bytes + NetstackCosts::mtuBytes - 1) /
+                            NetstackCosts::mtuBytes);
+}
+
+std::vector<std::uint32_t>
+tsoSegments(std::uint64_t bytes, std::uint32_t seg_bytes)
+{
+    VIRTSIM_ASSERT(seg_bytes > 0, "zero TSO segment size");
+    std::vector<std::uint32_t> segs;
+    std::uint64_t left = bytes;
+    while (left > 0) {
+        const std::uint32_t take = static_cast<std::uint32_t>(
+            left > seg_bytes ? seg_bytes : left);
+        segs.push_back(take);
+        left -= take;
+    }
+    if (segs.empty())
+        segs.push_back(0);
+    return segs;
+}
+
+int
+groAggregates(int frame_count, int gro_frames)
+{
+    VIRTSIM_ASSERT(gro_frames > 0, "zero GRO window");
+    return (frame_count + gro_frames - 1) / gro_frames;
+}
+
+std::vector<Packet>
+groDrain(Nic &nic, int gro_frames)
+{
+    std::vector<Packet> aggs;
+    Packet pkt;
+    int frames_in_agg = 0;
+    while (nic.popRx(pkt)) {
+        // GRO only aggregates data segments; pure acks and other
+        // tiny frames pass through individually.
+        if (!aggs.empty() && aggs.back().flow == pkt.flow &&
+            pkt.bytes >= 200 && aggs.back().bytes >= 200 &&
+            frames_in_agg < gro_frames &&
+            aggs.back().bytes + pkt.bytes <= 64 * 1024) {
+            aggs.back().bytes += pkt.bytes;
+            ++frames_in_agg;
+        } else {
+            aggs.push_back(pkt);
+            frames_in_agg = 1;
+        }
+    }
+    return aggs;
+}
+
+} // namespace virtsim

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Kernel-behaviour helpers shared by the native, host, Dom0 and guest
+ * OS models: segmentation (TSO) and coalescing (GRO) arithmetic, and
+ * the feature flags of the tested kernel.
+ *
+ * All systems in the paper ran the same Linux 4.0-rc4 (Section III),
+ * including its TSO-autosizing regression that depressed Xen
+ * TCP_MAERTS results (Section V) — represented here as a config flag
+ * so the E8 ablation can turn it off.
+ */
+
+#ifndef VIRTSIM_OS_KERNEL_HH
+#define VIRTSIM_OS_KERNEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/nic.hh"
+#include "os/netstack.hh"
+
+namespace virtsim {
+
+/** Feature configuration of the Linux build under test. */
+struct LinuxConfig
+{
+    /**
+     * The Linux 4.0-rc1 "tcp: refine TSO autosizing" change: on the
+     * Xen PV transmit path it shrinks TSO batches drastically,
+     * multiplying per-segment costs. The paper confirmed that older
+     * kernels or sysfs tuning removed the effect.
+     */
+    bool tsoAutosizeRegression = true;
+
+    /** GRO enabled on the receive path. */
+    bool groEnabled = true;
+};
+
+/** Number of wire frames needed for a payload of n bytes. */
+int framesFor(std::uint64_t bytes);
+
+/**
+ * Split a payload into TSO segments of at most seg_bytes.
+ * @return per-segment byte counts (last may be short).
+ */
+std::vector<std::uint32_t> tsoSegments(std::uint64_t bytes,
+                                       std::uint32_t seg_bytes);
+
+/** Number of GRO aggregates the stack sees for frame_count frames. */
+int groAggregates(int frame_count, int gro_frames);
+
+/**
+ * Drain a NIC's rx queue, coalescing consecutive same-flow frames
+ * into GRO aggregates of at most gro_frames frames / 64 KiB.
+ * @return the aggregates, in arrival order.
+ */
+std::vector<Packet> groDrain(Nic &nic, int gro_frames);
+
+} // namespace virtsim
+
+#endif // VIRTSIM_OS_KERNEL_HH

@@ -1,0 +1,48 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+namespace virtsim {
+
+Cycles
+EventQueue::run()
+{
+    while (step()) {
+    }
+    return _now;
+}
+
+Cycles
+EventQueue::runUntil(Cycles limit)
+{
+    while (!heap.empty() && heap.top().when <= limit)
+        step();
+    if (_now < limit)
+        _now = limit;
+    return _now;
+}
+
+bool
+EventQueue::step()
+{
+    if (heap.empty())
+        return false;
+    // priority_queue::top() is const; the entry must be copied out
+    // before pop. The callback is moved from the copy, not the heap.
+    Entry e = heap.top();
+    heap.pop();
+    VIRTSIM_ASSERT(e.when >= _now, "event in the past");
+    _now = e.when;
+    EventFn fn = std::move(e.fn);
+    fn();
+    return true;
+}
+
+void
+EventQueue::clear()
+{
+    while (!heap.empty())
+        heap.pop();
+}
+
+} // namespace virtsim

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single EventQueue drives an entire simulated testbed (both server
+ * machines and the client). Time advances in CPU cycles. Events
+ * scheduled for the same cycle fire in scheduling order (FIFO via a
+ * monotonically increasing sequence number), which keeps runs fully
+ * deterministic — a property the paper's measurement methodology works
+ * hard to achieve on real hardware via pinning and interrupt
+ * isolation, and which we get for free here.
+ */
+
+#ifndef VIRTSIM_SIM_EVENT_QUEUE_HH
+#define VIRTSIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/log.hh"
+#include "sim/types.hh"
+
+namespace virtsim {
+
+/** Callback type fired when an event's time arrives. */
+using EventFn = std::function<void()>;
+
+/**
+ * A deterministic min-heap event queue keyed on (time, sequence).
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time in cycles. */
+    Cycles now() const { return _now; }
+
+    /** Number of events not yet fired. */
+    std::size_t pending() const { return heap.size(); }
+
+    /**
+     * Schedule fn to run at absolute time when.
+     * @pre when >= now(), otherwise the simulation would go backwards.
+     */
+    void
+    scheduleAt(Cycles when, EventFn fn)
+    {
+        VIRTSIM_ASSERT(when >= _now, "scheduling into the past: when=",
+                       when, " now=", _now);
+        heap.push(Entry{when, nextSeq++, std::move(fn)});
+    }
+
+    /** Schedule fn to run delay cycles from now. */
+    void
+    scheduleAfter(Cycles delay, EventFn fn)
+    {
+        scheduleAt(_now + delay, std::move(fn));
+    }
+
+    /**
+     * Run events until the queue drains.
+     * @return the final simulated time.
+     */
+    Cycles run();
+
+    /**
+     * Run events with timestamps <= limit; the clock is then advanced
+     * to limit even if the queue drained earlier.
+     * @return the final simulated time (== limit unless already past).
+     */
+    Cycles runUntil(Cycles limit);
+
+    /** Fire exactly one event, if any. @return true if one fired. */
+    bool step();
+
+    /** Drop all pending events (used between experiment repetitions). */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        Cycles when;
+        std::uint64_t seq;
+        EventFn fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap;
+    Cycles _now = 0;
+    std::uint64_t nextSeq = 0;
+};
+
+} // namespace virtsim
+
+#endif // VIRTSIM_SIM_EVENT_QUEUE_HH

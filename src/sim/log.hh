@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Minimal logging and error-exit helpers, following the gem5
+ * fatal()/panic() distinction:
+ *
+ *  - panic():  an internal simulator invariant was violated (a bug in
+ *              virtsim itself). Aborts, so a debugger or core dump can
+ *              capture the state.
+ *  - fatal():  the *user* asked for something impossible (bad
+ *              configuration, invalid parameters). Exits cleanly with
+ *              an error code.
+ *  - warn()/inform(): advisory output on stderr; never stop the run.
+ */
+
+#ifndef VIRTSIM_SIM_LOG_HH
+#define VIRTSIM_SIM_LOG_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace virtsim {
+
+namespace log_detail {
+
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace log_detail
+
+/** Report an internal simulator bug and abort. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    std::cerr << "panic: "
+              << log_detail::concat(std::forward<Args>(args)...)
+              << std::endl;
+    std::abort();
+}
+
+/** Report an unrecoverable user/configuration error and exit(1). */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    std::cerr << "fatal: "
+              << log_detail::concat(std::forward<Args>(args)...)
+              << std::endl;
+    std::exit(1);
+}
+
+/** Report a suspicious but survivable condition. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    std::cerr << "warn: "
+              << log_detail::concat(std::forward<Args>(args)...)
+              << std::endl;
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    std::cerr << "info: "
+              << log_detail::concat(std::forward<Args>(args)...)
+              << std::endl;
+}
+
+/** panic() unless the given invariant holds. */
+#define VIRTSIM_ASSERT(cond, ...)                                        \
+    do {                                                                 \
+        if (!(cond)) {                                                   \
+            ::virtsim::panic("assertion failed: ", #cond, " ",           \
+                             ::virtsim::log_detail::concat(__VA_ARGS__), \
+                             " (", __FILE__, ":", __LINE__, ")");        \
+        }                                                                \
+    } while (0)
+
+} // namespace virtsim
+
+#endif // VIRTSIM_SIM_LOG_HH

@@ -1,0 +1,93 @@
+#include "sim/random.hh"
+
+#include <cmath>
+
+#include "sim/log.hh"
+
+namespace virtsim {
+
+namespace {
+
+/** splitmix64, used to expand the user seed into generator state. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+Random::Random(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    s0 = splitmix64(x);
+    s1 = splitmix64(x);
+    if (s0 == 0 && s1 == 0)
+        s1 = 1; // xorshift state must not be all-zero
+}
+
+std::uint64_t
+Random::next()
+{
+    std::uint64_t x = s0;
+    const std::uint64_t y = s1;
+    s0 = y;
+    x ^= x << 23;
+    s1 = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1 + y;
+}
+
+double
+Random::uniform()
+{
+    // 53 random mantissa bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double
+Random::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Random::below(std::uint64_t n)
+{
+    VIRTSIM_ASSERT(n > 0, "below(0)");
+    return next() % n;
+}
+
+double
+Random::exponential(double mean)
+{
+    double u = uniform();
+    // Guard against log(0).
+    if (u <= 0.0)
+        u = 1e-18;
+    return -mean * std::log(u);
+}
+
+double
+Random::normal(double mean, double stddev)
+{
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 <= 0.0)
+        u1 = 1e-18;
+    const double z =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    const double v = mean + stddev * z;
+    return v < 0.0 ? 0.0 : v;
+}
+
+bool
+Random::chance(double p)
+{
+    return uniform() < p;
+}
+
+} // namespace virtsim

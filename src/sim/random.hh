@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Seeded deterministic pseudo-random number generation.
+ *
+ * Everything stochastic in virtsim (workload inter-arrival jitter,
+ * request service-time variation) draws from a Random instance owned
+ * by the experiment, so a run is reproducible from its seed alone.
+ * The generator is xorshift128+, which is plenty for workload
+ * modelling and has no global state.
+ */
+
+#ifndef VIRTSIM_SIM_RANDOM_HH
+#define VIRTSIM_SIM_RANDOM_HH
+
+#include <cstdint>
+
+namespace virtsim {
+
+/** Deterministic xorshift128+ PRNG with distribution helpers. */
+class Random
+{
+  public:
+    /** Construct from a seed; equal seeds give equal streams. */
+    explicit Random(std::uint64_t seed = 42);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). @pre n > 0 */
+    std::uint64_t below(std::uint64_t n);
+
+    /** Exponentially distributed value with the given mean. */
+    double exponential(double mean);
+
+    /**
+     * Normally distributed value (Box-Muller), truncated at zero so
+     * it can be used directly as a duration.
+     */
+    double normal(double mean, double stddev);
+
+    /** Bernoulli trial. */
+    bool chance(double p);
+
+  private:
+    std::uint64_t s0;
+    std::uint64_t s1;
+};
+
+} // namespace virtsim
+
+#endif // VIRTSIM_SIM_RANDOM_HH

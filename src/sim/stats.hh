@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Statistics primitives: counters and sample accumulators.
+ *
+ * The paper reports per-operation cycle counts (Tables II and III),
+ * per-transaction microsecond decompositions (Table V), and normalized
+ * throughput ratios (Figure 4). SampleStat covers all three: it keeps
+ * every sample so exact means, percentiles and min/max can be
+ * extracted, which is cheap at the scale of these experiments
+ * (thousands to low millions of samples).
+ */
+
+#ifndef VIRTSIM_SIM_STATS_HH
+#define VIRTSIM_SIM_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace virtsim {
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t by = 1) { _value += by; }
+    std::uint64_t value() const { return _value; }
+    void reset() { _value = 0; }
+
+  private:
+    std::uint64_t _value = 0;
+};
+
+/** Accumulates a set of samples and answers summary queries. */
+class SampleStat
+{
+  public:
+    void add(double sample);
+
+    std::size_t count() const { return samples.size(); }
+    bool empty() const { return samples.empty(); }
+
+    /** Arithmetic mean. @pre !empty() */
+    double mean() const;
+
+    /** Smallest sample. @pre !empty() */
+    double min() const;
+
+    /** Largest sample. @pre !empty() */
+    double max() const;
+
+    /** Sum of all samples. */
+    double sum() const { return _sum; }
+
+    /** Population standard deviation. @pre !empty() */
+    double stddev() const;
+
+    /**
+     * p-th percentile with nearest-rank semantics.
+     * @param p in [0, 100].  @pre !empty()
+     */
+    double percentile(double p) const;
+
+    /** Median (50th percentile). @pre !empty() */
+    double median() const { return percentile(50.0); }
+
+    void reset();
+
+  private:
+    /** Sort samples into sorted_ on demand. */
+    void ensureSorted() const;
+
+    std::vector<double> samples;
+    mutable std::vector<double> sorted;
+    mutable bool sortedValid = false;
+    double _sum = 0.0;
+};
+
+/**
+ * A named registry of counters and sample stats, used by machines and
+ * hypervisors to expose what happened during a run (VM exits, IPIs,
+ * grant copies, packets, ...). Keys are created on first use.
+ */
+class StatRegistry
+{
+  public:
+    Counter &counter(const std::string &name) { return counters[name]; }
+    SampleStat &stat(const std::string &name) { return stats[name]; }
+
+    const std::map<std::string, Counter> &allCounters() const
+    {
+        return counters;
+    }
+    const std::map<std::string, SampleStat> &allStats() const
+    {
+        return stats;
+    }
+
+    /** Value of a counter, or zero if it was never touched. */
+    std::uint64_t counterValue(const std::string &name) const;
+
+    void reset();
+
+    /** Render all counters and stat summaries, one per line. */
+    std::string render() const;
+
+  private:
+    std::map<std::string, Counter> counters;
+    std::map<std::string, SampleStat> stats;
+};
+
+} // namespace virtsim
+
+#endif // VIRTSIM_SIM_STATS_HH

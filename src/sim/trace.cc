@@ -1,0 +1,26 @@
+#include "sim/trace.hh"
+
+namespace virtsim {
+
+std::optional<Cycles>
+Tracer::find(std::uint64_t flow, const std::string &tap) const
+{
+    for (const auto &r : records) {
+        if (r.flow == flow && r.tap == tap)
+            return r.when;
+    }
+    return std::nullopt;
+}
+
+std::optional<Cycles>
+Tracer::between(std::uint64_t flow, const std::string &from,
+                const std::string &to) const
+{
+    const auto a = find(flow, from);
+    const auto b = find(flow, to);
+    if (!a || !b || *b < *a)
+        return std::nullopt;
+    return *b - *a;
+}
+
+} // namespace virtsim

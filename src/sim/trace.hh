@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Timestamp taps — the simulator's substitute for the paper's
+ * instrumented tcpdump plus synchronized ARM architected counters.
+ *
+ * The Netperf TCP_RR analysis (Table V) decomposes a transaction into
+ * legs by timestamping packets at the datalink layer in the host/Dom0
+ * and inside the VM. Components in virtsim call Tracer::stamp() at
+ * those same points; analysis code then pairs up stamps per
+ * transaction to compute the leg durations.
+ */
+
+#ifndef VIRTSIM_SIM_TRACE_HH
+#define VIRTSIM_SIM_TRACE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace virtsim {
+
+/** One trace record: a named point in time, tagged with a flow id. */
+struct TraceRecord
+{
+    Cycles when;
+    /** Flow identifier, e.g. a transaction sequence number. */
+    std::uint64_t flow;
+    /** Tap name, e.g. "host.datalink.rx" or "vm.app.recv". */
+    std::string tap;
+};
+
+/**
+ * Collects TraceRecords during a run. Disabled by default so the
+ * hot paths of long application-benchmark runs pay a single branch.
+ */
+class Tracer
+{
+  public:
+    void enable() { enabled = true; }
+    void disable() { enabled = false; }
+    bool isEnabled() const { return enabled; }
+
+    void
+    stamp(Cycles when, std::uint64_t flow, const std::string &tap)
+    {
+        if (enabled)
+            records.push_back(TraceRecord{when, flow, tap});
+    }
+
+    const std::vector<TraceRecord> &all() const { return records; }
+
+    void clear() { records.clear(); }
+
+    /** First stamp of tap for the given flow, if any. */
+    std::optional<Cycles> find(std::uint64_t flow,
+                               const std::string &tap) const;
+
+    /**
+     * Duration between two taps of the same flow.
+     * @return nullopt if either tap is missing or ordering is reversed.
+     */
+    std::optional<Cycles> between(std::uint64_t flow,
+                                  const std::string &from,
+                                  const std::string &to) const;
+
+  private:
+    bool enabled = false;
+    std::vector<TraceRecord> records;
+};
+
+} // namespace virtsim
+
+#endif // VIRTSIM_SIM_TRACE_HH

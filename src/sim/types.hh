@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fundamental simulation-wide type aliases.
+ *
+ * All simulated time in virtsim is expressed in CPU cycles of the
+ * platform being simulated (the paper reports microbenchmark results
+ * in cycles precisely to be comparable across the 2.4 GHz ARM and
+ * 2.1 GHz x86 testbeds). Conversions to wall-clock units live in
+ * sim/units.hh.
+ */
+
+#ifndef VIRTSIM_SIM_TYPES_HH
+#define VIRTSIM_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace virtsim {
+
+/** Simulated time and durations, in CPU cycles. */
+using Cycles = std::uint64_t;
+
+/** Identifier of a physical CPU within a Machine. */
+using PcpuId = int;
+
+/** Identifier of a virtual CPU within a Vm. */
+using VcpuId = int;
+
+/** Hardware / virtual interrupt number (GIC INTID or x86 vector). */
+using IrqId = int;
+
+/** Sentinel for "no CPU". */
+inline constexpr PcpuId invalidPcpu = -1;
+
+/** Sentinel for "no VCPU". */
+inline constexpr VcpuId invalidVcpu = -1;
+
+} // namespace virtsim
+
+#endif // VIRTSIM_SIM_TYPES_HH

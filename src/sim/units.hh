@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Conversions between cycles and wall-clock units at a platform's CPU
+ * frequency.
+ *
+ * The paper's two testbeds run at different frequencies (ARM Atlas at
+ * 2.4 GHz, Xeon E5-2450 at 2.1 GHz); microbenchmarks are reported in
+ * cycles and the Netperf TCP_RR analysis in microseconds, so both
+ * directions are needed.
+ */
+
+#ifndef VIRTSIM_SIM_UNITS_HH
+#define VIRTSIM_SIM_UNITS_HH
+
+#include <cmath>
+
+#include "sim/types.hh"
+
+namespace virtsim {
+
+/** CPU clock of a simulated platform. */
+class Frequency
+{
+  public:
+    /** Construct a frequency from a value in GHz. */
+    explicit constexpr Frequency(double ghz) : _ghz(ghz) {}
+
+    constexpr double ghz() const { return _ghz; }
+
+    /** Cycles in one microsecond at this frequency. */
+    constexpr double cyclesPerUs() const { return _ghz * 1000.0; }
+
+    /** Convert a duration in microseconds to (rounded) cycles. */
+    Cycles
+    cycles(double us) const
+    {
+        return static_cast<Cycles>(std::llround(us * cyclesPerUs()));
+    }
+
+    /** Convert a duration in nanoseconds to (rounded) cycles. */
+    Cycles
+    cyclesFromNs(double ns) const
+    {
+        return static_cast<Cycles>(std::llround(ns * _ghz));
+    }
+
+    /** Convert a cycle count to microseconds. */
+    constexpr double
+    us(Cycles c) const
+    {
+        return static_cast<double>(c) / cyclesPerUs();
+    }
+
+    /** Convert a cycle count to seconds. */
+    constexpr double
+    seconds(Cycles c) const
+    {
+        return us(c) / 1e6;
+    }
+
+    /** Convert a duration in seconds to (rounded) cycles. */
+    Cycles
+    cyclesFromSeconds(double s) const
+    {
+        return cycles(s * 1e6);
+    }
+
+  private:
+    double _ghz;
+};
+
+} // namespace virtsim
+
+#endif // VIRTSIM_SIM_UNITS_HH

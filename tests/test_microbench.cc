@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Integration tests: the Table II microbenchmark suite across every
+ * (configuration x operation) cell, parameterized, with tolerances
+ * against the paper's published numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/microbench.hh"
+#include "core/testbed.hh"
+
+using namespace virtsim;
+
+namespace {
+
+/** Table II, verbatim. */
+const std::map<SutKind, std::map<MicroOp, double>> paper = {
+    {SutKind::KvmArm,
+     {{MicroOp::Hypercall, 6500},
+      {MicroOp::InterruptControllerTrap, 7370},
+      {MicroOp::VirtualIpi, 11557},
+      {MicroOp::VirtualIrqCompletion, 71},
+      {MicroOp::VmSwitch, 10387},
+      {MicroOp::IoLatencyOut, 6024},
+      {MicroOp::IoLatencyIn, 13872}}},
+    {SutKind::XenArm,
+     {{MicroOp::Hypercall, 376},
+      {MicroOp::InterruptControllerTrap, 1356},
+      {MicroOp::VirtualIpi, 5978},
+      {MicroOp::VirtualIrqCompletion, 71},
+      {MicroOp::VmSwitch, 8799},
+      {MicroOp::IoLatencyOut, 16491},
+      {MicroOp::IoLatencyIn, 15650}}},
+    {SutKind::KvmX86,
+     {{MicroOp::Hypercall, 1300},
+      {MicroOp::InterruptControllerTrap, 2384},
+      {MicroOp::VirtualIpi, 5230},
+      {MicroOp::VirtualIrqCompletion, 1556},
+      {MicroOp::VmSwitch, 4812},
+      {MicroOp::IoLatencyOut, 560},
+      {MicroOp::IoLatencyIn, 18923}}},
+    {SutKind::XenX86,
+     {{MicroOp::Hypercall, 1228},
+      {MicroOp::InterruptControllerTrap, 1734},
+      {MicroOp::VirtualIpi, 5562},
+      {MicroOp::VirtualIrqCompletion, 1464},
+      {MicroOp::VmSwitch, 10534},
+      {MicroOp::IoLatencyOut, 11262},
+      {MicroOp::IoLatencyIn, 10050}}},
+};
+
+/** Acceptable relative deviation per cell. Most cells are derived
+ *  exactly; the Virtual IPI path is structurally composed from
+ *  independently-calibrated primitives and is allowed a wider band
+ *  (documented in EXPERIMENTS.md). */
+double
+tolerance(MicroOp op)
+{
+    return op == MicroOp::VirtualIpi ? 0.20 : 0.06;
+}
+
+using Cell = std::tuple<SutKind, MicroOp>;
+
+class Table2Cell : public ::testing::TestWithParam<Cell>
+{
+};
+
+} // namespace
+
+TEST_P(Table2Cell, MatchesPaperWithinTolerance)
+{
+    const auto [kind, op] = GetParam();
+    Testbed tb(TestbedConfig{.kind = kind});
+    MicrobenchSuite suite(tb);
+    const MicroResult r = suite.run(op, 20);
+    const double expected = paper.at(kind).at(op);
+    EXPECT_NEAR(r.cycles.mean(), expected,
+                expected * tolerance(op))
+        << to_string(kind) << " / " << to_string(op);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, Table2Cell,
+    ::testing::Combine(::testing::Values(SutKind::KvmArm,
+                                         SutKind::XenArm,
+                                         SutKind::KvmX86,
+                                         SutKind::XenX86),
+                       ::testing::ValuesIn(std::vector<MicroOp>(
+                           allMicroOps.begin(), allMicroOps.end()))),
+    [](const ::testing::TestParamInfo<Cell> &info) {
+        std::string n = to_string(std::get<0>(info.param)) + "_" +
+                        to_string(std::get<1>(info.param));
+        for (char &c : n) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return n;
+    });
+
+TEST(Microbench, IterationsAreStable)
+{
+    // Pinned VCPUs and steered interrupts: repeated operations must
+    // cost the same (the variability the paper engineered away).
+    Testbed tb(TestbedConfig{.kind = SutKind::KvmArm});
+    MicrobenchSuite suite(tb);
+    const MicroResult r = suite.run(MicroOp::Hypercall, 30);
+    EXPECT_EQ(r.cycles.min(), r.cycles.max());
+}
+
+TEST(Microbench, DescriptionsExist)
+{
+    for (MicroOp op : allMicroOps) {
+        EXPECT_FALSE(to_string(op).empty());
+        EXPECT_GT(describe(op).size(), 20u);
+    }
+}
+
+TEST(Microbench, RunAllCoversTheSuite)
+{
+    Testbed tb(TestbedConfig{.kind = SutKind::XenArm});
+    MicrobenchSuite suite(tb);
+    const auto all = suite.runAll(5);
+    ASSERT_EQ(all.size(), allMicroOps.size());
+    for (const auto &r : all)
+        EXPECT_EQ(r.cycles.count(), 5u);
+}
+
+TEST(Microbench, RequiresVirtualizedTestbed)
+{
+    Testbed tb(TestbedConfig{.kind = SutKind::Native});
+    EXPECT_DEATH(MicrobenchSuite{tb}, "inside a VM");
+}

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Integration tests for the Netperf simulations: the Table V
+ * decomposition invariants and the throughput benchmarks' shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/hypercall_breakdown.hh"
+#include "core/netperf.hh"
+
+using namespace virtsim;
+
+namespace {
+
+NetperfRrResult
+rr(SutKind kind)
+{
+    Testbed tb(TestbedConfig{.kind = kind});
+    NetperfRrConfig cfg;
+    cfg.transactions = 60;
+    return runNetperfRr(tb, cfg);
+}
+
+double
+streamGbps(SutKind kind)
+{
+    Testbed tb(TestbedConfig{.kind = kind});
+    NetperfStreamConfig cfg;
+    cfg.windowSeconds = 0.01;
+    return runNetperfStream(tb, cfg).gbps;
+}
+
+} // namespace
+
+TEST(NetperfRr, NativeMatchesTable5)
+{
+    const NetperfRrResult r = rr(SutKind::Native);
+    EXPECT_NEAR(r.sendToRecvUs, 29.7, 1.0);
+    EXPECT_NEAR(r.recvToSendUs, 14.5, 0.8);
+    EXPECT_EQ(r.recvToVmRecvUs, 0.0);
+    EXPECT_GT(r.transPerSec, 20000.0);
+}
+
+TEST(NetperfRr, KvmMatchesTable5Decomposition)
+{
+    const NetperfRrResult r = rr(SutKind::KvmArm);
+    EXPECT_NEAR(r.recvToVmRecvUs, 21.1, 2.1);
+    EXPECT_NEAR(r.vmRecvToVmSendUs, 16.9, 1.7);
+    EXPECT_NEAR(r.vmSendToSendUs, 15.0, 1.5);
+    // KVM does not interfere with wire+client time.
+    EXPECT_NEAR(r.sendToRecvUs, 29.7, 1.0);
+}
+
+TEST(NetperfRr, XenMatchesTable5Decomposition)
+{
+    const NetperfRrResult r = rr(SutKind::XenArm);
+    EXPECT_NEAR(r.recvToVmRecvUs, 25.9, 2.6);
+    EXPECT_NEAR(r.vmRecvToVmSendUs, 17.4, 1.7);
+    EXPECT_NEAR(r.vmSendToSendUs, 21.4, 2.2);
+    // Xen inflates send-to-recv: the idle->Dom0 switch happens
+    // before the datalink timestamp.
+    EXPECT_GT(r.sendToRecvUs, 33.0);
+}
+
+TEST(NetperfRr, LegsComposeIntoRecvToSend)
+{
+    for (SutKind k : {SutKind::KvmArm, SutKind::XenArm}) {
+        const NetperfRrResult r = rr(k);
+        EXPECT_NEAR(r.recvToVmRecvUs + r.vmRecvToVmSendUs +
+                        r.vmSendToSendUs,
+                    r.recvToSendUs, 0.1)
+            << to_string(k);
+    }
+}
+
+TEST(NetperfRr, VmInternalTimeSimilarAcrossHypervisors)
+{
+    // The paper's key decomposition insight: the VM spends about the
+    // same time either way; delivery differs.
+    const NetperfRrResult kvm = rr(SutKind::KvmArm);
+    const NetperfRrResult xen = rr(SutKind::XenArm);
+    EXPECT_NEAR(kvm.vmRecvToVmSendUs, xen.vmRecvToVmSendUs, 1.5);
+    EXPECT_GT(xen.recvToVmRecvUs, kvm.recvToVmRecvUs);
+    EXPECT_GT(xen.vmSendToSendUs, kvm.vmSendToSendUs);
+}
+
+TEST(NetperfRr, OrderingNativeKvmXen)
+{
+    const double nat = rr(SutKind::Native).transPerSec;
+    const double kvm = rr(SutKind::KvmArm).transPerSec;
+    const double xen = rr(SutKind::XenArm).transPerSec;
+    EXPECT_GT(nat, kvm);
+    EXPECT_GT(kvm, xen);
+}
+
+TEST(NetperfStream, NativeSaturatesTheWire)
+{
+    EXPECT_GT(streamGbps(SutKind::Native), 9.5);
+}
+
+TEST(NetperfStream, KvmZeroCopyKeepsLineRate)
+{
+    // Figure 4 / Section V: "KVM has almost no overhead for x86 and
+    // ARM".
+    EXPECT_GT(streamGbps(SutKind::KvmArm), 9.0);
+    EXPECT_GT(streamGbps(SutKind::KvmX86), 9.0);
+}
+
+TEST(NetperfStream, XenGrantCopiesCollapseThroughput)
+{
+    // Section V: "more than 250% overhead" on Xen.
+    const double nat = streamGbps(SutKind::Native);
+    const double xen = streamGbps(SutKind::XenArm);
+    EXPECT_GT(nat / xen, 2.5);
+}
+
+TEST(NetperfMaerts, RegressionShapesXenOnly)
+{
+    NetperfStreamConfig cfg;
+    cfg.windowSeconds = 0.01;
+
+    Testbed nat(TestbedConfig{.kind = SutKind::Native});
+    Testbed kvm(TestbedConfig{.kind = SutKind::KvmArm});
+    Testbed xen(TestbedConfig{.kind = SutKind::XenArm});
+    TestbedConfig fixed_cfg;
+    fixed_cfg.kind = SutKind::XenArm;
+    fixed_cfg.tsoRegression = false;
+    Testbed xen_fixed(fixed_cfg);
+
+    const double g_nat = runNetperfMaerts(nat, cfg).gbps;
+    const double g_kvm = runNetperfMaerts(kvm, cfg).gbps;
+    const double g_xen = runNetperfMaerts(xen, cfg).gbps;
+    const double g_fixed = runNetperfMaerts(xen_fixed, cfg).gbps;
+
+    EXPECT_GT(g_kvm, 0.9 * g_nat);   // KVM unaffected
+    EXPECT_GT(g_nat / g_xen, 1.7);   // regression bites Xen
+    EXPECT_GT(g_fixed, 1.5 * g_xen); // tuning recovers it
+}
+
+TEST(HypercallBreakdown, MatchesTable3AndSumsUp)
+{
+    Testbed tb(TestbedConfig{.kind = SutKind::KvmArm});
+    const HypercallBreakdown b = measureHypercallBreakdown(tb);
+    ASSERT_EQ(b.rows.size(), 7u);
+    EXPECT_EQ(b.totalSave, 4202u);
+    EXPECT_EQ(b.totalRestore, 1506u);
+    EXPECT_EQ(b.hypercallCycles, 6500u);
+    // "context switching state is the primary cost ... not the cost
+    // of extra traps"
+    EXPECT_GT(b.totalSave + b.totalRestore, 4 * b.unattributed());
+    // VGIC save dominates.
+    Cycles vgic = 0;
+    for (const auto &row : b.rows) {
+        if (row.cls == RegClass::Vgic)
+            vgic = row.save;
+    }
+    EXPECT_EQ(vgic, 3250u);
+}
+
+TEST(HypercallBreakdown, WorksOnVheToo)
+{
+    Testbed tb(TestbedConfig{.kind = SutKind::KvmArmVhe});
+    const HypercallBreakdown b = measureHypercallBreakdown(tb);
+    ASSERT_EQ(b.rows.size(), 1u); // GP only
+    EXPECT_EQ(b.rows[0].cls, RegClass::Gp);
+}

@@ -1,0 +1,20 @@
+/** @file Build smoke test: construct every testbed configuration. */
+
+#include <gtest/gtest.h>
+
+#include "core/testbed.hh"
+
+using namespace virtsim;
+
+TEST(Smoke, ConstructAllConfigurations)
+{
+    for (SutKind k : {SutKind::Native, SutKind::NativeX86,
+                      SutKind::KvmArm, SutKind::XenArm,
+                      SutKind::KvmX86, SutKind::XenX86,
+                      SutKind::KvmArmVhe}) {
+        TestbedConfig tc;
+        tc.kind = k;
+        Testbed tb(tc);
+        EXPECT_EQ(tb.width(), 4) << to_string(k);
+    }
+}
