@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_maerts_regression"
+  "../bench/bench_ablation_maerts_regression.pdb"
+  "CMakeFiles/bench_ablation_maerts_regression.dir/bench_ablation_maerts_regression.cc.o"
+  "CMakeFiles/bench_ablation_maerts_regression.dir/bench_ablation_maerts_regression.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_maerts_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_state_switch"
+  "../bench/bench_ablation_state_switch.pdb"
+  "CMakeFiles/bench_ablation_state_switch.dir/bench_ablation_state_switch.cc.o"
+  "CMakeFiles/bench_ablation_state_switch.dir/bench_ablation_state_switch.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_state_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

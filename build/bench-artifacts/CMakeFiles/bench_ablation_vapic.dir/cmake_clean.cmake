@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_vapic"
+  "../bench/bench_ablation_vapic.pdb"
+  "CMakeFiles/bench_ablation_vapic.dir/bench_ablation_vapic.cc.o"
+  "CMakeFiles/bench_ablation_vapic.dir/bench_ablation_vapic.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_vapic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_virq_distribution"
+  "../bench/bench_ablation_virq_distribution.pdb"
+  "CMakeFiles/bench_ablation_virq_distribution.dir/bench_ablation_virq_distribution.cc.o"
+  "CMakeFiles/bench_ablation_virq_distribution.dir/bench_ablation_virq_distribution.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_virq_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_zero_copy"
+  "../bench/bench_ablation_zero_copy.pdb"
+  "CMakeFiles/bench_ablation_zero_copy.dir/bench_ablation_zero_copy.cc.o"
+  "CMakeFiles/bench_ablation_zero_copy.dir/bench_ablation_zero_copy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_zero_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_figure4_applications"
+  "../bench/bench_figure4_applications.pdb"
+  "CMakeFiles/bench_figure4_applications.dir/bench_figure4_applications.cc.o"
+  "CMakeFiles/bench_figure4_applications.dir/bench_figure4_applications.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure4_applications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

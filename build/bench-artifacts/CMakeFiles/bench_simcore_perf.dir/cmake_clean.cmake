@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_simcore_perf"
+  "../bench/bench_simcore_perf.pdb"
+  "CMakeFiles/bench_simcore_perf.dir/bench_simcore_perf.cc.o"
+  "CMakeFiles/bench_simcore_perf.dir/bench_simcore_perf.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simcore_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_microbenchmarks"
+  "../bench/bench_table2_microbenchmarks.pdb"
+  "CMakeFiles/bench_table2_microbenchmarks.dir/bench_table2_microbenchmarks.cc.o"
+  "CMakeFiles/bench_table2_microbenchmarks.dir/bench_table2_microbenchmarks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_microbenchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

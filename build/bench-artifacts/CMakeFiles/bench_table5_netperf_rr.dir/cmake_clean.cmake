@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_netperf_rr"
+  "../bench/bench_table5_netperf_rr.pdb"
+  "CMakeFiles/bench_table5_netperf_rr.dir/bench_table5_netperf_rr.cc.o"
+  "CMakeFiles/bench_table5_netperf_rr.dir/bench_table5_netperf_rr.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_netperf_rr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_vhe_projection"
+  "../bench/bench_vhe_projection.pdb"
+  "CMakeFiles/bench_vhe_projection.dir/bench_vhe_projection.cc.o"
+  "CMakeFiles/bench_vhe_projection.dir/bench_vhe_projection.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vhe_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transition_anatomy.dir/transition_anatomy.cc.o"
+  "CMakeFiles/transition_anatomy.dir/transition_anatomy.cc.o.d"
+  "transition_anatomy"
+  "transition_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transition_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

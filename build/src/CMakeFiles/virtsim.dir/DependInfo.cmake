@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/appbench.cc" "src/CMakeFiles/virtsim.dir/core/appbench.cc.o" "gcc" "src/CMakeFiles/virtsim.dir/core/appbench.cc.o.d"
+  "/root/repo/src/core/figure.cc" "src/CMakeFiles/virtsim.dir/core/figure.cc.o" "gcc" "src/CMakeFiles/virtsim.dir/core/figure.cc.o.d"
+  "/root/repo/src/core/hypercall_breakdown.cc" "src/CMakeFiles/virtsim.dir/core/hypercall_breakdown.cc.o" "gcc" "src/CMakeFiles/virtsim.dir/core/hypercall_breakdown.cc.o.d"
+  "/root/repo/src/core/microbench.cc" "src/CMakeFiles/virtsim.dir/core/microbench.cc.o" "gcc" "src/CMakeFiles/virtsim.dir/core/microbench.cc.o.d"
+  "/root/repo/src/core/netperf.cc" "src/CMakeFiles/virtsim.dir/core/netperf.cc.o" "gcc" "src/CMakeFiles/virtsim.dir/core/netperf.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/virtsim.dir/core/report.cc.o" "gcc" "src/CMakeFiles/virtsim.dir/core/report.cc.o.d"
+  "/root/repo/src/core/testbed.cc" "src/CMakeFiles/virtsim.dir/core/testbed.cc.o" "gcc" "src/CMakeFiles/virtsim.dir/core/testbed.cc.o.d"
+  "/root/repo/src/core/workloads/apache.cc" "src/CMakeFiles/virtsim.dir/core/workloads/apache.cc.o" "gcc" "src/CMakeFiles/virtsim.dir/core/workloads/apache.cc.o.d"
+  "/root/repo/src/core/workloads/hackbench.cc" "src/CMakeFiles/virtsim.dir/core/workloads/hackbench.cc.o" "gcc" "src/CMakeFiles/virtsim.dir/core/workloads/hackbench.cc.o.d"
+  "/root/repo/src/core/workloads/kernbench.cc" "src/CMakeFiles/virtsim.dir/core/workloads/kernbench.cc.o" "gcc" "src/CMakeFiles/virtsim.dir/core/workloads/kernbench.cc.o.d"
+  "/root/repo/src/core/workloads/memcached.cc" "src/CMakeFiles/virtsim.dir/core/workloads/memcached.cc.o" "gcc" "src/CMakeFiles/virtsim.dir/core/workloads/memcached.cc.o.d"
+  "/root/repo/src/core/workloads/mysql.cc" "src/CMakeFiles/virtsim.dir/core/workloads/mysql.cc.o" "gcc" "src/CMakeFiles/virtsim.dir/core/workloads/mysql.cc.o.d"
+  "/root/repo/src/core/workloads/netperf_workloads.cc" "src/CMakeFiles/virtsim.dir/core/workloads/netperf_workloads.cc.o" "gcc" "src/CMakeFiles/virtsim.dir/core/workloads/netperf_workloads.cc.o.d"
+  "/root/repo/src/core/workloads/specjvm.cc" "src/CMakeFiles/virtsim.dir/core/workloads/specjvm.cc.o" "gcc" "src/CMakeFiles/virtsim.dir/core/workloads/specjvm.cc.o.d"
+  "/root/repo/src/core/workloads/workload.cc" "src/CMakeFiles/virtsim.dir/core/workloads/workload.cc.o" "gcc" "src/CMakeFiles/virtsim.dir/core/workloads/workload.cc.o.d"
+  "/root/repo/src/hv/grant_table.cc" "src/CMakeFiles/virtsim.dir/hv/grant_table.cc.o" "gcc" "src/CMakeFiles/virtsim.dir/hv/grant_table.cc.o.d"
+  "/root/repo/src/hv/hypervisor.cc" "src/CMakeFiles/virtsim.dir/hv/hypervisor.cc.o" "gcc" "src/CMakeFiles/virtsim.dir/hv/hypervisor.cc.o.d"
+  "/root/repo/src/hv/kvm_arm.cc" "src/CMakeFiles/virtsim.dir/hv/kvm_arm.cc.o" "gcc" "src/CMakeFiles/virtsim.dir/hv/kvm_arm.cc.o.d"
+  "/root/repo/src/hv/kvm_arm_vhe.cc" "src/CMakeFiles/virtsim.dir/hv/kvm_arm_vhe.cc.o" "gcc" "src/CMakeFiles/virtsim.dir/hv/kvm_arm_vhe.cc.o.d"
+  "/root/repo/src/hv/kvm_x86.cc" "src/CMakeFiles/virtsim.dir/hv/kvm_x86.cc.o" "gcc" "src/CMakeFiles/virtsim.dir/hv/kvm_x86.cc.o.d"
+  "/root/repo/src/hv/virtio.cc" "src/CMakeFiles/virtsim.dir/hv/virtio.cc.o" "gcc" "src/CMakeFiles/virtsim.dir/hv/virtio.cc.o.d"
+  "/root/repo/src/hv/vm.cc" "src/CMakeFiles/virtsim.dir/hv/vm.cc.o" "gcc" "src/CMakeFiles/virtsim.dir/hv/vm.cc.o.d"
+  "/root/repo/src/hv/world_switch.cc" "src/CMakeFiles/virtsim.dir/hv/world_switch.cc.o" "gcc" "src/CMakeFiles/virtsim.dir/hv/world_switch.cc.o.d"
+  "/root/repo/src/hv/xen_arm.cc" "src/CMakeFiles/virtsim.dir/hv/xen_arm.cc.o" "gcc" "src/CMakeFiles/virtsim.dir/hv/xen_arm.cc.o.d"
+  "/root/repo/src/hv/xen_pv.cc" "src/CMakeFiles/virtsim.dir/hv/xen_pv.cc.o" "gcc" "src/CMakeFiles/virtsim.dir/hv/xen_pv.cc.o.d"
+  "/root/repo/src/hv/xen_x86.cc" "src/CMakeFiles/virtsim.dir/hv/xen_x86.cc.o" "gcc" "src/CMakeFiles/virtsim.dir/hv/xen_x86.cc.o.d"
+  "/root/repo/src/hw/arch.cc" "src/CMakeFiles/virtsim.dir/hw/arch.cc.o" "gcc" "src/CMakeFiles/virtsim.dir/hw/arch.cc.o.d"
+  "/root/repo/src/hw/cost_model.cc" "src/CMakeFiles/virtsim.dir/hw/cost_model.cc.o" "gcc" "src/CMakeFiles/virtsim.dir/hw/cost_model.cc.o.d"
+  "/root/repo/src/hw/cpu.cc" "src/CMakeFiles/virtsim.dir/hw/cpu.cc.o" "gcc" "src/CMakeFiles/virtsim.dir/hw/cpu.cc.o.d"
+  "/root/repo/src/hw/gic.cc" "src/CMakeFiles/virtsim.dir/hw/gic.cc.o" "gcc" "src/CMakeFiles/virtsim.dir/hw/gic.cc.o.d"
+  "/root/repo/src/hw/machine.cc" "src/CMakeFiles/virtsim.dir/hw/machine.cc.o" "gcc" "src/CMakeFiles/virtsim.dir/hw/machine.cc.o.d"
+  "/root/repo/src/hw/memory.cc" "src/CMakeFiles/virtsim.dir/hw/memory.cc.o" "gcc" "src/CMakeFiles/virtsim.dir/hw/memory.cc.o.d"
+  "/root/repo/src/hw/mmu.cc" "src/CMakeFiles/virtsim.dir/hw/mmu.cc.o" "gcc" "src/CMakeFiles/virtsim.dir/hw/mmu.cc.o.d"
+  "/root/repo/src/hw/nic.cc" "src/CMakeFiles/virtsim.dir/hw/nic.cc.o" "gcc" "src/CMakeFiles/virtsim.dir/hw/nic.cc.o.d"
+  "/root/repo/src/hw/vtimer.cc" "src/CMakeFiles/virtsim.dir/hw/vtimer.cc.o" "gcc" "src/CMakeFiles/virtsim.dir/hw/vtimer.cc.o.d"
+  "/root/repo/src/hw/wire.cc" "src/CMakeFiles/virtsim.dir/hw/wire.cc.o" "gcc" "src/CMakeFiles/virtsim.dir/hw/wire.cc.o.d"
+  "/root/repo/src/os/kernel.cc" "src/CMakeFiles/virtsim.dir/os/kernel.cc.o" "gcc" "src/CMakeFiles/virtsim.dir/os/kernel.cc.o.d"
+  "/root/repo/src/os/netback.cc" "src/CMakeFiles/virtsim.dir/os/netback.cc.o" "gcc" "src/CMakeFiles/virtsim.dir/os/netback.cc.o.d"
+  "/root/repo/src/os/netstack.cc" "src/CMakeFiles/virtsim.dir/os/netstack.cc.o" "gcc" "src/CMakeFiles/virtsim.dir/os/netstack.cc.o.d"
+  "/root/repo/src/os/vhost.cc" "src/CMakeFiles/virtsim.dir/os/vhost.cc.o" "gcc" "src/CMakeFiles/virtsim.dir/os/vhost.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/virtsim.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/virtsim.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/random.cc" "src/CMakeFiles/virtsim.dir/sim/random.cc.o" "gcc" "src/CMakeFiles/virtsim.dir/sim/random.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/virtsim.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/virtsim.dir/sim/stats.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/virtsim.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/virtsim.dir/sim/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for virtsim.
+# This may be replaced when dependencies are built.

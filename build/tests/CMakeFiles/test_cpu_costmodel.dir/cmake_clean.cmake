@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_costmodel.dir/test_cpu_costmodel.cc.o"
+  "CMakeFiles/test_cpu_costmodel.dir/test_cpu_costmodel.cc.o.d"
+  "test_cpu_costmodel"
+  "test_cpu_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

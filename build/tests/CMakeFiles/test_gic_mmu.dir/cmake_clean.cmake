@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gic_mmu.dir/test_gic_mmu.cc.o"
+  "CMakeFiles/test_gic_mmu.dir/test_gic_mmu.cc.o.d"
+  "test_gic_mmu"
+  "test_gic_mmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gic_mmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_failures.dir/test_integration_failures.cc.o"
+  "CMakeFiles/test_integration_failures.dir/test_integration_failures.cc.o.d"
+  "test_integration_failures"
+  "test_integration_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

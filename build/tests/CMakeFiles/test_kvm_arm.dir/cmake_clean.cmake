@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kvm_arm.dir/test_kvm_arm.cc.o"
+  "CMakeFiles/test_kvm_arm.dir/test_kvm_arm.cc.o.d"
+  "test_kvm_arm"
+  "test_kvm_arm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kvm_arm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

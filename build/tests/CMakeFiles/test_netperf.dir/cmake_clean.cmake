@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netperf.dir/test_netperf.cc.o"
+  "CMakeFiles/test_netperf.dir/test_netperf.cc.o.d"
+  "test_netperf"
+  "test_netperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

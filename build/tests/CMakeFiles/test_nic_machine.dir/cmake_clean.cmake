@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nic_machine.dir/test_nic_machine.cc.o"
+  "CMakeFiles/test_nic_machine.dir/test_nic_machine.cc.o.d"
+  "test_nic_machine"
+  "test_nic_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nic_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

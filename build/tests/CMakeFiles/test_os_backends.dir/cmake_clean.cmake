@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_os_backends.dir/test_os_backends.cc.o"
+  "CMakeFiles/test_os_backends.dir/test_os_backends.cc.o.d"
+  "test_os_backends"
+  "test_os_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_os_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_virtio_grant.dir/test_virtio_grant.cc.o"
+  "CMakeFiles/test_virtio_grant.dir/test_virtio_grant.cc.o.d"
+  "test_virtio_grant"
+  "test_virtio_grant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_virtio_grant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

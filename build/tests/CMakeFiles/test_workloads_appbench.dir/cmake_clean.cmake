@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workloads_appbench.dir/test_workloads_appbench.cc.o"
+  "CMakeFiles/test_workloads_appbench.dir/test_workloads_appbench.cc.o.d"
+  "test_workloads_appbench"
+  "test_workloads_appbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workloads_appbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_worldswitch_vm.dir/test_worldswitch_vm.cc.o"
+  "CMakeFiles/test_worldswitch_vm.dir/test_worldswitch_vm.cc.o.d"
+  "test_worldswitch_vm"
+  "test_worldswitch_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_worldswitch_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_x86_and_vhe.dir/test_x86_and_vhe.cc.o"
+  "CMakeFiles/test_x86_and_vhe.dir/test_x86_and_vhe.cc.o.d"
+  "test_x86_and_vhe"
+  "test_x86_and_vhe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_x86_and_vhe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_x86_and_vhe.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xen_arm.dir/test_xen_arm.cc.o"
+  "CMakeFiles/test_xen_arm.dir/test_xen_arm.cc.o.d"
+  "test_xen_arm"
+  "test_xen_arm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xen_arm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
