@@ -12,25 +12,14 @@
  */
 
 #include <iostream>
+#include <utility>
+#include <vector>
 
 #include "core/netperf.hh"
 #include "core/report.hh"
+#include "sim/sweep.hh"
 
 using namespace virtsim;
-
-namespace {
-
-double
-maertsGbps(SutKind kind, bool regression)
-{
-    TestbedConfig tc;
-    tc.kind = kind;
-    tc.tsoRegression = regression;
-    Testbed tb(tc);
-    return runNetperfMaerts(tb).gbps;
-}
-
-} // namespace
 
 int
 main()
@@ -38,10 +27,24 @@ main()
     std::cout << "Ablation E8: TSO-autosizing regression on Xen "
                  "TCP_MAERTS (Section V)\n\n";
 
-    const double native = maertsGbps(SutKind::Native, true);
-    const double xen_regressed = maertsGbps(SutKind::XenArm, true);
-    const double xen_fixed = maertsGbps(SutKind::XenArm, false);
-    const double kvm = maertsGbps(SutKind::KvmArm, true);
+    const std::vector<std::pair<SutKind, bool>> cells = {
+        {SutKind::Native, true},
+        {SutKind::XenArm, true},
+        {SutKind::XenArm, false},
+        {SutKind::KvmArm, true},
+    };
+    const auto gbps =
+        parallelSweep(cells, [](const std::pair<SutKind, bool> &c) {
+            TestbedConfig tc;
+            tc.kind = c.first;
+            tc.tsoRegression = c.second;
+            Testbed tb(tc);
+            return runNetperfMaerts(tb).gbps;
+        });
+    const double native = gbps[0];
+    const double xen_regressed = gbps[1];
+    const double xen_fixed = gbps[2];
+    const double kvm = gbps[3];
 
     TextTable table({"Configuration", "Gbps", "normalized overhead"});
     table.addRow({"Native ARM", formatFixed(native, 2), "1.00"});

@@ -10,23 +10,40 @@
  */
 
 #include <iostream>
+#include <memory>
 
 #include "core/appbench.hh"
 #include "core/report.hh"
 #include "core/workloads/apache.hh"
 #include "core/workloads/memcached.hh"
+#include "sim/sweep.hh"
 
 using namespace virtsim;
 
 namespace {
 
-double
-overheadOf(Workload &w, SutKind kind, VirqDistribution dist)
+/** One (workload, hypervisor, routing) cell of the ablation grid.
+ *  Each sweep task builds its own Workload instance so nothing
+ *  mutable is shared across threads. */
+struct Cell
 {
+    bool memcached;
+    SutKind kind;
+    VirqDistribution dist;
+};
+
+double
+overheadOf(const Cell &c)
+{
+    std::unique_ptr<Workload> w;
+    if (c.memcached)
+        w = std::make_unique<MemcachedWorkload>();
+    else
+        w = std::make_unique<ApacheWorkload>();
     AppBenchOptions opt;
-    opt.kinds = {kind};
-    opt.virqDist = dist;
-    const AppBenchRow row = runAppBenchRow(w, opt);
+    opt.kinds = {c.kind};
+    opt.virqDist = c.dist;
+    const AppBenchRow row = runAppBenchRow(*w, opt);
     return row.cells.at(0).normalizedOverhead.value_or(-1.0);
 }
 
@@ -40,36 +57,44 @@ main()
               << "Overhead vs native with all vIRQs on VCPU0 "
                  "(paper default)\nversus spread across VCPUs.\n\n";
 
-    ApacheWorkload apache;
-    MemcachedWorkload memcached;
-
     TextTable table({"Workload / HV", "single VCPU0", "distributed",
                      "paper single", "paper distributed"});
 
     struct Case
     {
-        Workload *w;
+        bool memcached;
         SutKind kind;
         const char *label;
         const char *paper_single;
         const char *paper_spread;
     };
     const Case cases[] = {
-        {&apache, SutKind::KvmArm, "Apache / KVM ARM", "1.35", "1.14"},
-        {&apache, SutKind::XenArm, "Apache / Xen ARM", "1.84", "1.16"},
-        {&memcached, SutKind::KvmArm, "Memcached / KVM ARM", "1.26",
+        {false, SutKind::KvmArm, "Apache / KVM ARM", "1.35", "1.14"},
+        {false, SutKind::XenArm, "Apache / Xen ARM", "1.84", "1.16"},
+        {true, SutKind::KvmArm, "Memcached / KVM ARM", "1.26",
          "1.08"},
-        {&memcached, SutKind::XenArm, "Memcached / Xen ARM", "1.32",
+        {true, SutKind::XenArm, "Memcached / Xen ARM", "1.32",
          "1.09"},
     };
 
+    // Flatten to one sweep cell per (case, routing); all eight
+    // measurements run concurrently.
+    std::vector<Cell> cells;
+    for (const auto &c : cases) {
+        cells.push_back({c.memcached, c.kind,
+                         VirqDistribution::SingleVcpu});
+        cells.push_back({c.memcached, c.kind,
+                         VirqDistribution::Spread});
+    }
+    const auto overhead = parallelSweep(
+        cells, [](const Cell &c) { return overheadOf(c); });
+
     bool all_improve = true;
     double reduction_sum = 0;
-    for (const auto &c : cases) {
-        const double single =
-            overheadOf(*c.w, c.kind, VirqDistribution::SingleVcpu);
-        const double spread =
-            overheadOf(*c.w, c.kind, VirqDistribution::Spread);
+    for (std::size_t i = 0; i < std::size(cases); ++i) {
+        const Case &c = cases[i];
+        const double single = overhead[2 * i];
+        const double spread = overhead[2 * i + 1];
         table.addRow({c.label, formatFixed(single, 2),
                       formatFixed(spread, 2), c.paper_single,
                       c.paper_spread});

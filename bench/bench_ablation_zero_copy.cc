@@ -13,25 +13,14 @@
  */
 
 #include <iostream>
+#include <utility>
+#include <vector>
 
 #include "core/netperf.hh"
 #include "core/report.hh"
+#include "sim/sweep.hh"
 
 using namespace virtsim;
-
-namespace {
-
-double
-streamGbps(SutKind kind, bool zero_copy)
-{
-    TestbedConfig tc;
-    tc.kind = kind;
-    tc.zeroCopyGrants = zero_copy;
-    Testbed tb(tc);
-    return runNetperfStream(tb).gbps;
-}
-
-} // namespace
 
 int
 main()
@@ -40,12 +29,27 @@ main()
                  "mapping (Section V)\n"
               << "TCP_STREAM receive throughput into the DomU.\n\n";
 
-    const double native_arm = streamGbps(SutKind::Native, false);
-    const double native_x86 = streamGbps(SutKind::NativeX86, false);
-    const double xen_arm_copy = streamGbps(SutKind::XenArm, false);
-    const double xen_arm_zc = streamGbps(SutKind::XenArm, true);
-    const double xen_x86_copy = streamGbps(SutKind::XenX86, false);
-    const double xen_x86_zc = streamGbps(SutKind::XenX86, true);
+    // Six independent testbeds; measured concurrently, committed in
+    // input order.
+    const std::vector<std::pair<SutKind, bool>> cells = {
+        {SutKind::Native, false},  {SutKind::NativeX86, false},
+        {SutKind::XenArm, false},  {SutKind::XenArm, true},
+        {SutKind::XenX86, false},  {SutKind::XenX86, true},
+    };
+    const auto gbps =
+        parallelSweep(cells, [](const std::pair<SutKind, bool> &c) {
+            TestbedConfig tc;
+            tc.kind = c.first;
+            tc.zeroCopyGrants = c.second;
+            Testbed tb(tc);
+            return runNetperfStream(tb).gbps;
+        });
+    const double native_arm = gbps[0];
+    const double native_x86 = gbps[1];
+    const double xen_arm_copy = gbps[2];
+    const double xen_arm_zc = gbps[3];
+    const double xen_x86_copy = gbps[4];
+    const double xen_x86_zc = gbps[5];
 
     TextTable table({"Configuration", "Gbps", "normalized overhead"});
     table.addRow({"Native ARM", formatFixed(native_arm, 2), "1.00"});

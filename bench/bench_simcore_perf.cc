@@ -8,11 +8,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/appbench.hh"
 #include "core/microbench.hh"
 #include "core/netperf.hh"
 #include "core/testbed.hh"
 #include "hv/world_switch.hh"
 #include "sim/event_queue.hh"
+#include "sim/sweep.hh"
 
 using namespace virtsim;
 
@@ -32,6 +38,91 @@ BM_EventQueueScheduleRun(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_EventQueueScheduleRun);
+
+/** Timer-like usage: most scheduled events are cancelled before they
+ *  fire (TCP retransmit timers, watchdogs). Schedules 1000 events,
+ *  cancels three of every four, drains the rest. */
+void
+BM_EventQueueScheduleCancel(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        int fired = 0;
+        std::vector<EventId> ids;
+        ids.reserve(1000);
+        for (int i = 0; i < 1000; ++i) {
+            ids.push_back(eq.scheduleAt(static_cast<Cycles>(i),
+                                        [&fired] { ++fired; }));
+        }
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+            if (i % 4 != 0)
+                eq.cancel(ids[i]);
+        }
+        eq.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleCancel);
+
+/** Steady-state churn: a fixed population of self-rescheduling event
+ *  chains, the shape of a long simulation (every handler schedules
+ *  its successor). Exercises slot recycling with a warm arena. */
+void
+BM_EventQueueChurn(benchmark::State &state)
+{
+    EventQueue eq;
+    std::uint64_t fired = 0;
+    constexpr int chains = 64;
+    constexpr Cycles horizon = 4000;
+    struct Chain
+    {
+        EventQueue *eq;
+        std::uint64_t *fired;
+        Cycles stride;
+        void
+        operator()() const
+        {
+            ++*fired;
+            Chain next = *this;
+            eq->scheduleAfter(stride, next);
+        }
+    };
+    for (int c = 0; c < chains; ++c)
+        eq.scheduleAfter(static_cast<Cycles>(c),
+                         Chain{&eq, &fired,
+                               static_cast<Cycles>(16 + c % 7)});
+    for (auto _ : state) {
+        const std::uint64_t before = fired;
+        eq.runUntil(eq.now() + horizon);
+        benchmark::DoNotOptimize(fired - before);
+    }
+    // ~250 events per chain per horizon window.
+    state.SetItemsProcessed(static_cast<std::int64_t>(fired));
+}
+BENCHMARK(BM_EventQueueChurn);
+
+/** clear()-then-reschedule between repetitions, as the experiment
+ *  harness does; checks arena recycling after bulk teardown. */
+void
+BM_EventQueueClearReschedule(benchmark::State &state)
+{
+    EventQueue eq;
+    int fired = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 256; ++i)
+            eq.scheduleAfter(static_cast<Cycles>(i + 1),
+                             [&fired] { ++fired; });
+        eq.clear();
+        for (int i = 0; i < 256; ++i)
+            eq.scheduleAfter(static_cast<Cycles>(i + 1),
+                             [&fired] { ++fired; });
+        eq.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_EventQueueClearReschedule);
 
 void
 BM_WorldSwitchSaveRestore(benchmark::State &state)
@@ -80,6 +171,40 @@ BM_NetperfRrTransaction(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 50);
 }
 BENCHMARK(BM_NetperfRrTransaction);
+
+/** The Figure 4 application sweep, end to end, at a fixed thread
+ *  count. Compare Serial vs Parallel to see the sweep-runner win on
+ *  a multicore host (identical output is asserted in the tests). */
+void
+figure4Sweep(benchmark::State &state, int jobs)
+{
+    const std::string jobstr = std::to_string(jobs);
+    setenv("VIRTSIM_JOBS", jobstr.c_str(), 1);
+    AppBenchOptions opt;
+    std::size_t rows = 0;
+    for (auto _ : state) {
+        const auto result = runFigure4(opt);
+        rows = result.size();
+        benchmark::DoNotOptimize(result.data());
+    }
+    unsetenv("VIRTSIM_JOBS");
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(rows));
+}
+
+void
+BM_Figure4SweepSerial(benchmark::State &state)
+{
+    figure4Sweep(state, 1);
+}
+BENCHMARK(BM_Figure4SweepSerial)->Unit(benchmark::kMillisecond);
+
+void
+BM_Figure4SweepParallel(benchmark::State &state)
+{
+    figure4Sweep(state, sweepJobs() > 1 ? sweepJobs() : 4);
+}
+BENCHMARK(BM_Figure4SweepParallel)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -41,15 +41,15 @@ main()
                  "counts)\n"
               << "Simulated reproduction of Dall et al., ISCA 2016.\n\n";
 
-    // Measure every (operation x configuration) cell.
+    // Measure every (operation x configuration) cell; each column is
+    // an independent testbed, so the four run concurrently
+    // (VIRTSIM_JOBS wide) with results committed in column order.
     std::map<MicroOp, std::array<double, 4>> measured;
-    for (std::size_t col = 0; col < columns.size(); ++col) {
-        TestbedConfig tc;
-        tc.kind = columns[col];
-        Testbed tb(tc);
-        MicrobenchSuite suite(tb);
-        for (MicroOp op : allMicroOps)
-            measured[op][col] = suite.run(op).cycles.mean();
+    const auto sweep = runMicrobenchSweep(
+        {columns.begin(), columns.end()});
+    for (std::size_t col = 0; col < sweep.size(); ++col) {
+        for (const MicroResult &r : sweep[col].results)
+            measured[r.op][col] = r.cycles.mean();
     }
 
     TextTable table({"Microbenchmark", "KVM ARM", "Xen ARM",

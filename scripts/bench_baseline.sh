@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_simcore.json — the simulator-infrastructure perf
+# baseline future PRs compare against.
+#
+# Usage: scripts/bench_baseline.sh [build-dir]
+#
+# Runs the google-benchmark simcore suite and writes the JSON report
+# to BENCH_simcore.json at the repo root. Run on an otherwise idle
+# machine; numbers are host-dependent, so regenerate the committed
+# baseline only from the same class of machine that produced it (or
+# note the host change in the commit).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build_dir="${1:-build}"
+bench="$build_dir/bench/bench_simcore_perf"
+
+if [[ ! -x "$bench" ]]; then
+    echo "error: $bench not built (cmake --build $build_dir first)" >&2
+    exit 1
+fi
+
+"$bench" --benchmark_format=json \
+         --benchmark_repetitions=3 \
+         --benchmark_report_aggregates_only=true \
+         > BENCH_simcore.json
+echo "wrote BENCH_simcore.json"

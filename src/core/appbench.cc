@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/log.hh"
+#include "sim/sweep.hh"
 
 namespace virtsim {
 
@@ -76,10 +77,16 @@ runAppBenchRow(Workload &w, const AppBenchOptions &opt)
 std::vector<AppBenchRow>
 runFigure4(const AppBenchOptions &opt)
 {
-    std::vector<AppBenchRow> rows;
-    for (auto &w : figure4Workloads())
-        rows.push_back(runAppBenchRow(*w, opt));
-    return rows;
+    // One sweep item per Figure 4 row. Workload models are cheap
+    // parameter holders, so each task materializes its own copy of
+    // the suite rather than sharing mutable Workload objects across
+    // threads; results commit in row order, so the output is
+    // byte-identical to the serial loop for any VIRTSIM_JOBS.
+    const std::size_t n = figure4Workloads().size();
+    return parallelSweepIndexed(n, [&opt](std::size_t i) {
+        auto suite = figure4Workloads();
+        return runAppBenchRow(*suite[i], opt);
+    });
 }
 
 } // namespace virtsim

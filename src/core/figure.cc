@@ -32,10 +32,12 @@ BarFigure::renderBar(double value) const
 {
     const double frac = value / maxValue;
     const bool clipped = frac > 1.0;
+    // A zero/negligible value renders as an empty bar — padding it to
+    // one '#' would visually inflate overheads that round to nothing.
     const int cells = clipped
         ? width
-        : static_cast<int>(std::lround(frac * width));
-    std::string bar(static_cast<std::size_t>(std::max(cells, 1)), '#');
+        : std::max(static_cast<int>(std::lround(frac * width)), 0);
+    std::string bar(static_cast<std::size_t>(cells), '#');
     if (clipped)
         bar.back() = '>';
     return bar;

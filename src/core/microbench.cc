@@ -1,6 +1,7 @@
 #include "core/microbench.hh"
 
 #include "sim/log.hh"
+#include "sim/sweep.hh"
 
 namespace virtsim {
 
@@ -167,22 +168,25 @@ MicrobenchSuite::run(MicroOp op, int iterations)
     // timestamps.
     const Cycles gap = tb.freq().cycles(60.0);
     auto *res = &result;
-    // Shared iteration driver.
-    auto iterate = std::make_shared<std::function<void(int)>>();
-    *iterate = [this, res, iterations, gap, iterate](int i) {
+    // Iteration driver; outlives tb.run(), so the queued callbacks
+    // can hold a plain pointer to it (a self-capturing shared_ptr
+    // would form a reference cycle and leak).
+    std::function<void(int)> iterate;
+    auto *iter = &iterate;
+    iterate = [this, res, iterations, gap, iter](int i) {
         if (i >= iterations)
             return;
         setUp(res->op);
         const Cycles t0 = std::max(tb.queue().now(),
                                    tb.frontier(0)) + gap;
-        tb.queue().scheduleAt(t0, [this, res, i, t0, iterate] {
-            issue(res->op, t0, [res, i, t0, iterate](Cycles t1) {
+        tb.queue().scheduleAt(t0, [this, res, i, t0, iter] {
+            issue(res->op, t0, [res, i, t0, iter](Cycles t1) {
                 res->cycles.add(static_cast<double>(t1 - t0));
-                (*iterate)(i + 1);
+                (*iter)(i + 1);
             });
         });
     };
-    (*iterate)(0);
+    iterate(0);
     tb.run();
     if (op == MicroOp::VmSwitch && vm1Loaded) {
         // Leave the testbed with the measured VM loaded so later
@@ -207,6 +211,18 @@ MicrobenchSuite::runAll(int iterations)
     for (MicroOp op : allMicroOps)
         out.push_back(run(op, iterations));
     return out;
+}
+
+std::vector<MicroSweepColumn>
+runMicrobenchSweep(const std::vector<SutKind> &kinds, int iterations)
+{
+    return parallelSweep(kinds, [iterations](SutKind kind) {
+        TestbedConfig tc;
+        tc.kind = kind;
+        Testbed tb(tc);
+        MicrobenchSuite suite(tb);
+        return MicroSweepColumn{kind, suite.runAll(iterations)};
+    });
 }
 
 } // namespace virtsim

@@ -56,6 +56,23 @@ struct MicroResult
     SampleStat cycles; ///< per-iteration cost in cycles
 };
 
+/** One configuration's full Table I column. */
+struct MicroSweepColumn
+{
+    SutKind kind = SutKind::KvmArm;
+    std::vector<MicroResult> results;
+};
+
+/**
+ * Run the full microbenchmark suite on each configuration, one
+ * independent testbed per column, farmed out across host threads
+ * (sim/sweep.hh; VIRTSIM_JOBS controls the width). Columns come back
+ * in input order and are byte-identical to a serial run.
+ */
+std::vector<MicroSweepColumn>
+runMicrobenchSweep(const std::vector<SutKind> &kinds,
+                   int iterations = 50);
+
 /**
  * Runs the microbenchmark suite against one virtualized testbed.
  */

@@ -201,9 +201,9 @@ runRequestResponse(Testbed &tb, const ServerAppParams &p)
             // estimate to bite; short per-connection response bursts
             // still go out at full TSO size (unlike the MAERTS
             // stream).
-            const auto segs = tsoSegments(p.responseBytes,
-                                          net.tsoBytes);
-            tb.queue().scheduleAt(t2, [&, t2, worker, flow, segs] {
+            auto segs = tsoSegments(p.responseBytes, net.tsoBytes);
+            tb.queue().scheduleAt(t2, [&, t2, worker, flow,
+                                       segs = std::move(segs)] {
                 Cycles t_tx = t2;
                 for (const std::uint32_t bytes : segs) {
                     const int frames = framesFor(bytes);

@@ -1,8 +1,71 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
 #include <utility>
 
 namespace virtsim {
+
+void
+EventQueue::siftUp(std::size_t pos)
+{
+    const HeapEntry e = heap[pos];
+    while (pos > 0) {
+        const std::size_t parent = (pos - 1) / heapArity;
+        if (!firesBefore(e, heap[parent]))
+            break;
+        heap[pos] = heap[parent];
+        pos = parent;
+    }
+    heap[pos] = e;
+}
+
+void
+EventQueue::siftDown(std::size_t pos)
+{
+    const HeapEntry e = heap[pos];
+    const std::size_t n = heap.size();
+    for (;;) {
+        const std::size_t first = pos * heapArity + 1;
+        if (first >= n)
+            break;
+        const std::size_t last = std::min(first + heapArity, n);
+        std::size_t best = first;
+        for (std::size_t c = first + 1; c < last; ++c) {
+            if (firesBefore(heap[c], heap[best]))
+                best = c;
+        }
+        if (!firesBefore(heap[best], e))
+            break;
+        heap[pos] = heap[best];
+        pos = best;
+    }
+    heap[pos] = e;
+}
+
+void
+EventQueue::popTop()
+{
+    const HeapEntry moved = heap.back();
+    heap.pop_back();
+    if (!heap.empty()) {
+        heap[0] = moved;
+        siftDown(0);
+    }
+}
+
+void
+EventQueue::purgeTop()
+{
+    // deadCount == 0 is the common case and skips the per-pop arena
+    // generation probe entirely.
+    while (deadCount != 0 && !heap.empty()) {
+        const HeapEntry &top = heap.front();
+        if (slotAt(top.slot).gen == top.gen)
+            return; // live
+        popTop();
+        --deadCount;
+    }
+}
 
 Cycles
 EventQueue::run()
@@ -15,8 +78,12 @@ EventQueue::run()
 Cycles
 EventQueue::runUntil(Cycles limit)
 {
-    while (!heap.empty() && heap.top().when <= limit)
+    for (;;) {
+        purgeTop();
+        if (heap.empty() || heap.front().when > limit)
+            break;
         step();
+    }
     if (_now < limit)
         _now = limit;
     return _now;
@@ -25,15 +92,19 @@ EventQueue::runUntil(Cycles limit)
 bool
 EventQueue::step()
 {
+    purgeTop();
     if (heap.empty())
         return false;
-    // priority_queue::top() is const; the entry must be copied out
-    // before pop. The callback is moved from the copy, not the heap.
-    Entry e = heap.top();
-    heap.pop();
-    VIRTSIM_ASSERT(e.when >= _now, "event in the past");
-    _now = e.when;
-    EventFn fn = std::move(e.fn);
+    const HeapEntry top = heap.front();
+    VIRTSIM_ASSERT(top.when >= _now, "event in the past");
+    _now = top.when;
+    popTop();
+    Slot &s = slotAt(top.slot);
+    // Move the callback out and recycle the slot *before* firing so
+    // the callback can freely schedule into the vacated slot.
+    EventFn fn = std::move(s.fn);
+    releaseSlot(top.slot, s);
+    --liveCount;
     fn();
     return true;
 }
@@ -41,8 +112,15 @@ EventQueue::step()
 void
 EventQueue::clear()
 {
-    while (!heap.empty())
-        heap.pop();
+    while (!heap.empty()) {
+        const HeapEntry &e = heap.back();
+        Slot &s = slotAt(e.slot);
+        if (s.gen == e.gen)
+            releaseSlot(e.slot, s);
+        heap.pop_back();
+    }
+    liveCount = 0;
+    deadCount = 0;
 }
 
 } // namespace virtsim

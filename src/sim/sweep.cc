@@ -1,0 +1,78 @@
+#include "sim/sweep.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "sim/log.hh"
+
+namespace virtsim {
+
+int
+sweepJobs()
+{
+    if (const char *env = std::getenv("VIRTSIM_JOBS")) {
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end == env || *end != '\0' || v < 1)
+            fatal("VIRTSIM_JOBS must be a positive integer, got \"",
+                  env, "\"");
+        return static_cast<int>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+namespace sweep_detail {
+
+void
+runIndexed(std::size_t n,
+           const std::function<void(std::size_t)> &task, int jobs)
+{
+    if (jobs <= 1 || n <= 1) {
+        // The old serial path, byte-identical by construction.
+        for (std::size_t i = 0; i < n; ++i)
+            task(i);
+        return;
+    }
+
+    const std::size_t nthreads =
+        std::min(static_cast<std::size_t>(jobs), n);
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            try {
+                task(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(nthreads - 1);
+    for (std::size_t t = 1; t < nthreads; ++t)
+        pool.emplace_back(worker);
+    worker(); // the calling thread participates
+    for (auto &t : pool)
+        t.join();
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+} // namespace sweep_detail
+
+} // namespace virtsim

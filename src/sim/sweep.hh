@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Deterministic parallel sweep runner.
+ *
+ * The large experiment sweeps — Figure 4's twelve workloads x five
+ * configurations, the ablation grids, the Table II microbenchmark
+ * matrix — are embarrassingly parallel: every cell builds its own
+ * Testbed with its own EventQueue and PRNG and shares nothing with
+ * its neighbors. parallelSweep() farms such cells out to a fixed
+ * pool of host threads while keeping the output *bit-identical* to a
+ * serial run:
+ *
+ *  - tasks are handed out by an atomic index (no work stealing, no
+ *    reordering queues), and
+ *  - each task commits its result into results[i] for input index i,
+ *    so the assembled vector is independent of execution
+ *    interleaving — any scheduling of the same tasks yields the same
+ *    output bytes.
+ *
+ * Thread count comes from the VIRTSIM_JOBS environment variable
+ * (default: std::thread::hardware_concurrency). VIRTSIM_JOBS=1
+ * forces the plain serial path — same code the harness always ran —
+ * which is also used automatically for single-item sweeps.
+ */
+
+#ifndef VIRTSIM_SIM_SWEEP_HH
+#define VIRTSIM_SIM_SWEEP_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace virtsim {
+
+/** Worker-thread count a sweep will use: VIRTSIM_JOBS if set (must
+ *  be a positive integer), else hardware_concurrency, else 1. Read
+ *  per call so tests and benches can adjust the environment. */
+int sweepJobs();
+
+namespace sweep_detail {
+
+/** Run task(0..n-1), spreading across up to jobs threads; serial
+ *  when jobs <= 1. Rethrows the first task exception after joining. */
+void runIndexed(std::size_t n,
+                const std::function<void(std::size_t)> &task,
+                int jobs);
+
+} // namespace sweep_detail
+
+/**
+ * Evaluate fn(0), ..., fn(n-1) — each must be independent of the
+ * others — and return their results in input order.
+ *
+ * Result types must be default-constructible and movable. The output
+ * is byte-identical for every jobs value, 1 included.
+ */
+template <typename Fn>
+auto
+parallelSweepIndexed(std::size_t n, Fn fn, int jobs = sweepJobs())
+    -> std::vector<decltype(fn(std::size_t{}))>
+{
+    using Result = decltype(fn(std::size_t{}));
+    std::vector<Result> results(n);
+    sweep_detail::runIndexed(
+        n, [&](std::size_t i) { results[i] = fn(i); }, jobs);
+    return results;
+}
+
+/**
+ * Map fn over items in parallel; results come back in item order.
+ */
+template <typename Item, typename Fn>
+auto
+parallelSweep(const std::vector<Item> &items, Fn fn,
+              int jobs = sweepJobs())
+    -> std::vector<decltype(fn(items.front()))>
+{
+    return parallelSweepIndexed(
+        items.size(), [&](std::size_t i) { return fn(items[i]); },
+        jobs);
+}
+
+} // namespace virtsim
+
+#endif // VIRTSIM_SIM_SWEEP_HH

@@ -113,6 +113,149 @@ TEST(EventQueue, ClearDropsPending)
     EXPECT_EQ(fired, 0);
 }
 
+TEST(EventQueue, RunUntilFiresEventExactlyAtLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.scheduleAt(100, [&] { ++fired; });
+    eq.scheduleAt(101, [&] { ++fired; });
+    eq.runUntil(100);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 100u);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.runUntil(101);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, ClearThenRescheduleReusesArenaSlots)
+{
+    EventQueue eq;
+    int dropped = 0;
+    int fired = 0;
+    // Fill a batch of arena slots, then drop them all.
+    for (int i = 0; i < 64; ++i)
+        eq.scheduleAt(static_cast<Cycles>(10 + i),
+                      [&dropped] { ++dropped; });
+    EXPECT_EQ(eq.pending(), 64u);
+    eq.clear();
+    EXPECT_EQ(eq.pending(), 0u);
+    // Reschedule through the recycled slots; old events must not
+    // resurface and new ones must all fire in order.
+    std::vector<int> order;
+    for (int i = 0; i < 64; ++i)
+        eq.scheduleAt(static_cast<Cycles>(20 + i), [&order, &fired, i] {
+            order.push_back(i);
+            ++fired;
+        });
+    eq.run();
+    EXPECT_EQ(dropped, 0);
+    EXPECT_EQ(fired, 64);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+    // And again, to cycle the free list twice.
+    eq.clear();
+    eq.scheduleAfter(5, [&fired] { ++fired; });
+    eq.run();
+    EXPECT_EQ(fired, 65);
+}
+
+TEST(EventQueue, SameCycleFifoUnderHeavyChurn)
+{
+    // Interleave same-cycle scheduling with firing: each event at
+    // cycle T appends two children at T+1; FIFO order within every
+    // cycle must match scheduling order even as arena slots recycle.
+    EventQueue eq;
+    std::vector<std::pair<Cycles, int>> fired;
+    int next_tag = 0;
+    std::function<void(int, int)> spawn = [&](int tag, int depth) {
+        fired.emplace_back(eq.now(), tag);
+        if (depth >= 6)
+            return;
+        const int a = ++next_tag;
+        const int b = ++next_tag;
+        eq.scheduleAfter(1, [&spawn, a, depth] { spawn(a, depth + 1); });
+        eq.scheduleAfter(1, [&spawn, b, depth] { spawn(b, depth + 1); });
+    };
+    for (int r = 0; r < 4; ++r) {
+        const int tag = ++next_tag;
+        eq.scheduleAt(1, [&spawn, tag] { spawn(tag, 0); });
+    }
+    eq.run();
+    ASSERT_GT(fired.size(), 100u);
+    // Time never goes backwards, and same-cycle tags fire in
+    // scheduling (i.e. creation) order.
+    for (std::size_t i = 1; i < fired.size(); ++i) {
+        EXPECT_LE(fired[i - 1].first, fired[i].first);
+        if (fired[i - 1].first == fired[i].first) {
+            EXPECT_LT(fired[i - 1].second, fired[i].second);
+        }
+    }
+}
+
+TEST(EventQueue, CancelPreventsFiring)
+{
+    EventQueue eq;
+    int fired = 0;
+    const EventId a = eq.scheduleAt(10, [&] { fired += 1; });
+    const EventId b = eq.scheduleAt(20, [&] { fired += 10; });
+    eq.scheduleAt(30, [&] { fired += 100; });
+    EXPECT_EQ(eq.pending(), 3u);
+    EXPECT_TRUE(eq.cancel(b));
+    EXPECT_EQ(eq.pending(), 2u);
+    EXPECT_FALSE(eq.cancel(b)) << "double cancel must be a no-op";
+    eq.run();
+    EXPECT_EQ(fired, 101);
+    EXPECT_FALSE(eq.cancel(a)) << "cancelling a fired event is stale";
+    EXPECT_FALSE(eq.cancel(invalidEventId));
+}
+
+TEST(EventQueue, CancelledSlotIsSafelyReused)
+{
+    EventQueue eq;
+    int fired = 0;
+    const EventId a = eq.scheduleAt(10, [&] { fired += 1; });
+    EXPECT_TRUE(eq.cancel(a));
+    // The recycled slot hosts a new event; the stale handle must not
+    // be able to cancel it.
+    eq.scheduleAt(10, [&] { fired += 10; });
+    EXPECT_FALSE(eq.cancel(a));
+    eq.run();
+    EXPECT_EQ(fired, 10);
+}
+
+TEST(EventQueue, CancelFromWithinCallback)
+{
+    EventQueue eq;
+    int fired = 0;
+    EventId victim = invalidEventId;
+    eq.scheduleAt(5, [&] {
+        ++fired;
+        EXPECT_TRUE(eq.cancel(victim));
+    });
+    victim = eq.scheduleAt(6, [&] { fired += 100; });
+    eq.scheduleAt(7, [&] { ++fired; });
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 7u);
+}
+
+TEST(EventQueue, RunUntilSkipsCancelledFrontier)
+{
+    // A cancelled event below the limit must not cause runUntil to
+    // fire events beyond the limit.
+    EventQueue eq;
+    int fired = 0;
+    const EventId a = eq.scheduleAt(5, [&] { fired += 1; });
+    eq.scheduleAt(50, [&] { fired += 100; });
+    eq.cancel(a);
+    eq.runUntil(10);
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(eq.now(), 10u);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(fired, 100);
+}
+
 TEST(EventQueueDeath, SchedulingIntoThePastPanics)
 {
     EventQueue eq;

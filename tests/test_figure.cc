@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Tests for the text bar-chart renderer, in particular the rule that
+ * a zero/negligible value renders an *empty* bar rather than being
+ * padded to a minimum width.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/figure.hh"
+
+using namespace virtsim;
+
+namespace {
+
+BarFigure
+makeFigure(double max_value = 4.0, int width = 40)
+{
+    return BarFigure({"KVM", "Xen"}, max_value, width);
+}
+
+} // namespace
+
+TEST(BarFigure, ZeroValueRendersEmptyBar)
+{
+    const auto fig = makeFigure();
+    EXPECT_EQ(fig.renderBar(0.0), "");
+}
+
+TEST(BarFigure, NegligibleValueRendersEmptyBar)
+{
+    // Anything that rounds to less than half a cell should vanish
+    // rather than be inflated to one '#'.
+    const auto fig = makeFigure(4.0, 40);
+    EXPECT_EQ(fig.renderBar(0.04), "");
+}
+
+TEST(BarFigure, ProportionalWidth)
+{
+    const auto fig = makeFigure(4.0, 40);
+    EXPECT_EQ(fig.renderBar(2.0), std::string(20, '#'));
+    EXPECT_EQ(fig.renderBar(4.0), std::string(40, '#'));
+    EXPECT_EQ(fig.renderBar(1.0).size(), 10u);
+}
+
+TEST(BarFigure, ClippedValueMarksOverflow)
+{
+    const auto fig = makeFigure(4.0, 40);
+    const std::string bar = fig.renderBar(9.5);
+    ASSERT_EQ(bar.size(), 40u);
+    EXPECT_EQ(bar.back(), '>');
+    EXPECT_EQ(bar.substr(0, 39), std::string(39, '#'));
+}
+
+TEST(BarFigure, RenderIncludesEmptyBarLine)
+{
+    auto fig = makeFigure(4.0, 8);
+    fig.addGroup("Kern", {0.0, 2.0});
+    const std::string out = fig.render();
+    // The zero-valued series must show no '#' before its number.
+    EXPECT_NE(out.find("KVM | 0.00"), std::string::npos) << out;
+    EXPECT_NE(out.find("Xen |#### 2.00"), std::string::npos) << out;
+}

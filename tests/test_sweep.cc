@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the deterministic parallel sweep runner: results must be
+ * committed in input order and be bit-identical to a serial run, no
+ * matter how many worker threads the environment requests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/appbench.hh"
+#include "sim/sweep.hh"
+
+using namespace virtsim;
+
+namespace {
+
+/** Scoped VIRTSIM_JOBS override; restores the prior value on exit. */
+class ScopedJobs
+{
+  public:
+    explicit ScopedJobs(const char *value)
+    {
+        const char *prev = std::getenv("VIRTSIM_JOBS");
+        if (prev)
+            saved = prev;
+        had = prev != nullptr;
+        if (value)
+            ::setenv("VIRTSIM_JOBS", value, 1);
+        else
+            ::unsetenv("VIRTSIM_JOBS");
+    }
+
+    ~ScopedJobs()
+    {
+        if (had)
+            ::setenv("VIRTSIM_JOBS", saved.c_str(), 1);
+        else
+            ::unsetenv("VIRTSIM_JOBS");
+    }
+
+  private:
+    std::string saved;
+    bool had = false;
+};
+
+} // namespace
+
+TEST(Sweep, ResultsCommittedInInputOrder)
+{
+    const std::vector<int> items = {7, 1, 9, 4, 4, 0, 3};
+    for (int jobs : {1, 2, 8}) {
+        auto out = parallelSweep(
+            items, [](const int &v) { return v * 10; }, jobs);
+        ASSERT_EQ(out.size(), items.size());
+        for (std::size_t i = 0; i < items.size(); ++i)
+            EXPECT_EQ(out[i], items[i] * 10) << "jobs=" << jobs;
+    }
+}
+
+TEST(Sweep, IndexedVariantCoversEveryIndexExactlyOnce)
+{
+    constexpr std::size_t n = 100;
+    std::vector<std::atomic<int>> calls(n);
+    auto out = parallelSweepIndexed(
+        n,
+        [&calls](std::size_t i) {
+            calls[i].fetch_add(1);
+            return i * i;
+        },
+        4);
+    ASSERT_EQ(out.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(calls[i].load(), 1);
+        EXPECT_EQ(out[i], i * i);
+    }
+}
+
+TEST(Sweep, EmptyAndSingleItemInputs)
+{
+    const std::vector<int> none;
+    EXPECT_TRUE(
+        parallelSweep(none, [](const int &v) { return v; }, 8).empty());
+    const std::vector<int> one = {42};
+    auto out = parallelSweep(one, [](const int &v) { return v + 1; }, 8);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 43);
+}
+
+TEST(Sweep, ExceptionFromWorkerPropagates)
+{
+    EXPECT_THROW(parallelSweepIndexed(
+                     16,
+                     [](std::size_t i) {
+                         if (i == 9)
+                             throw std::runtime_error("boom");
+                         return i;
+                     },
+                     4),
+                 std::runtime_error);
+}
+
+TEST(Sweep, JobsEnvControlsWorkerCount)
+{
+    {
+        ScopedJobs env("3");
+        EXPECT_EQ(sweepJobs(), 3);
+    }
+    {
+        ScopedJobs env("1");
+        EXPECT_EQ(sweepJobs(), 1);
+    }
+    {
+        ScopedJobs env(nullptr);
+        EXPECT_GE(sweepJobs(), 1);
+    }
+}
+
+namespace {
+
+void
+expectIdenticalRows(const std::vector<AppBenchRow> &a,
+                    const std::vector<AppBenchRow> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE("row " + a[i].workload);
+        EXPECT_EQ(a[i].workload, b[i].workload);
+        EXPECT_EQ(a[i].nativeScoreArm, b[i].nativeScoreArm);
+        EXPECT_EQ(a[i].nativeScoreX86, b[i].nativeScoreX86);
+        ASSERT_EQ(a[i].cells.size(), b[i].cells.size());
+        for (std::size_t c = 0; c < a[i].cells.size(); ++c) {
+            EXPECT_EQ(a[i].cells[c].kind, b[i].cells[c].kind);
+            EXPECT_EQ(a[i].cells[c].score, b[i].cells[c].score);
+            EXPECT_EQ(a[i].cells[c].normalizedOverhead,
+                      b[i].cells[c].normalizedOverhead);
+        }
+    }
+}
+
+} // namespace
+
+TEST(Sweep, Figure4IsDeterministicAcrossJobCounts)
+{
+    AppBenchOptions opt;
+    opt.seed = 42;
+
+    std::vector<AppBenchRow> serial;
+    {
+        ScopedJobs env("1");
+        serial = runFigure4(opt);
+    }
+    std::vector<AppBenchRow> parallel;
+    {
+        ScopedJobs env("8");
+        parallel = runFigure4(opt);
+    }
+    ASSERT_FALSE(serial.empty());
+    expectIdenticalRows(serial, parallel);
+}
