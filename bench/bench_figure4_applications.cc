@@ -73,6 +73,17 @@ main()
     }
     std::cout << fig.render() << "\n";
 
+    std::cout << "Metrics snapshots (per workload x configuration):\n";
+    for (const auto &row : rows) {
+        for (const auto &c : row.cells) {
+            if (c.metricsBrief.empty())
+                continue;
+            std::cout << "  " << row.workload << " / "
+                      << to_string(c.kind) << ": " << c.metricsBrief;
+        }
+    }
+    std::cout << "\n";
+
     auto get = [&rows](const std::string &name,
                        SutKind k) -> double {
         for (const auto &row : rows) {

@@ -75,6 +75,12 @@ main()
     }
     std::cout << cmp.render() << "\n";
 
+    std::cout << "Metrics snapshot (per configuration):\n";
+    for (const auto &col : sweep)
+        std::cout << "  " << to_string(col.kind) << ": "
+                  << col.metrics.brief();
+    std::cout << "\n";
+
     // The qualitative findings the paper draws from this table.
     const bool xen_arm_fast_hypercall =
         measured[MicroOp::Hypercall][1] * 3 <

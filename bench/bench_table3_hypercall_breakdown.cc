@@ -67,6 +67,9 @@ main()
               << formatCycles(static_cast<double>(b.unattributed()))
               << "\n\n";
 
+    std::cout << "Metrics snapshot:\n  "
+              << tb.metrics().snapshot().brief() << "\n";
+
     Cycles vgic_save = 0;
     Cycles max_other = 0;
     for (const auto &row : b.rows) {

@@ -48,12 +48,14 @@ main()
     };
 
     std::vector<NetperfRrResult> results;
+    std::vector<std::string> briefs;
     for (const auto &[kind, paper] : cols) {
         (void)paper;
         TestbedConfig tc;
         tc.kind = kind;
         Testbed tb(tc);
         results.push_back(runNetperfRr(tb));
+        briefs.push_back(tb.metrics().snapshot().brief());
     }
 
     TextTable table({"", "Native", "KVM", "Xen"});
@@ -95,6 +97,13 @@ main()
     ref.addRow({"VM recv to VM send (us)", "-", "16.9", "17.4"});
     ref.addRow({"VM send to send (us)", "-", "15.0", "21.4"});
     std::cout << ref.render() << "\n";
+
+    std::cout << "Metrics snapshot (per configuration):\n";
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+        std::cout << "  " << to_string(cols[i].first) << ": "
+                  << briefs[i];
+    }
+    std::cout << "\n";
 
     // The paper's qualitative conclusions from this table.
     const auto &nat = results[0];

@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Compare the simulator-infrastructure perf suite against the
+# committed baseline (BENCH_simcore.json) and fail on regression.
+#
+# Usage: scripts/bench_compare.sh [build-dir] [max-regress-pct]
+#
+# Reruns bench_simcore_perf with the same repetition settings the
+# baseline was produced with (scripts/bench_baseline.sh) and compares
+# each benchmark's *best* (minimum) real_time across repetitions —
+# the minimum is robust to the one-sided scheduling noise of shared
+# machines, where means over a few repetitions swing by tens of
+# percent. Any benchmark more than max-regress-pct (default 15)
+# slower than the baseline fails the gate; faster is always fine.
+# Skips cleanly when python3 or the baseline is unavailable so the
+# build itself never blocks on it.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build_dir="${1:-build}"
+max_pct="${2:-15}"
+bench="$build_dir/bench/bench_simcore_perf"
+baseline="BENCH_simcore.json"
+
+if [[ ! -x "$bench" ]]; then
+    echo "error: $bench not built (cmake --build $build_dir first)" >&2
+    exit 1
+fi
+if [[ ! -f "$baseline" ]]; then
+    echo "bench_compare: no $baseline baseline; skipping"
+    exit 0
+fi
+if ! command -v python3 >/dev/null 2>&1; then
+    echo "bench_compare: python3 unavailable; skipping"
+    exit 0
+fi
+
+# Several process invocations: the gate takes the minimum across all
+# of them, so a single throttled process window cannot fail the gate.
+runs=()
+for i in 1 2 3; do
+    out="$build_dir/bench_simcore_current.$i.json"
+    runs+=("$out")
+    "$bench" --benchmark_format=json \
+             --benchmark_repetitions=6 \
+             --benchmark_min_time=0.05 \
+             > "$out"
+done
+
+python3 - "$baseline" "$max_pct" "${runs[@]}" <<'PYEOF'
+import json
+import sys
+
+base_path, max_pct = sys.argv[1], float(sys.argv[2])
+cur_paths = sys.argv[3:]
+
+
+def bests(paths):
+    out = {}
+    for path in paths:
+        with open(path) as f:
+            doc = json.load(f)
+        for b in doc.get("benchmarks", []):
+            # Prefer raw repetitions (take the minimum); fall back
+            # to mean aggregates for baselines recorded
+            # aggregates-only.
+            if b.get("run_type") == "iteration":
+                name = b["run_name"]
+                out[name] = min(out.get(name, float("inf")),
+                                b["real_time"])
+            elif b.get("aggregate_name") == "mean":
+                out.setdefault(b["run_name"], b["real_time"])
+    return out
+
+
+base, cur = bests([base_path]), bests(cur_paths)
+if not base:
+    print("bench_compare: baseline has no usable entries; skipping")
+    sys.exit(0)
+
+failed = False
+for name in sorted(base):
+    b = base[name]
+    c = cur.get(name)
+    if c is None:
+        print(f"  {name}: missing from current run")
+        failed = True
+        continue
+    delta = (c - b) / b * 100.0
+    flag = ""
+    if delta > max_pct:
+        flag = f"  <-- exceeds +{max_pct:.0f}% budget"
+        failed = True
+    print(f"  {name}: {b:.0f} -> {c:.0f} ns ({delta:+.1f}%){flag}")
+
+sys.exit(1 if failed else 0)
+PYEOF
+
+echo "bench_compare: all benchmarks within ${max_pct}% of baseline"

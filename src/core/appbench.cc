@@ -63,6 +63,7 @@ runAppBenchRow(Workload &w, const AppBenchOptions &opt)
         }
         Testbed tb(configFor(k, opt));
         cell.score = w.run(tb);
+        cell.metricsBrief = tb.metrics().snapshot().brief();
         const double native = archOf(k) == Arch::Arm
                                   ? row.nativeScoreArm
                                   : row.nativeScoreX86;

@@ -27,6 +27,9 @@ struct AppBenchCell
      *  Unset when the configuration could not run the workload
      *  (the Xen x86 Apache Dom0 panic). */
     std::optional<double> normalizedOverhead;
+    /** Per-VM metrics digest (traps / world switches / vIRQs) from
+     *  the run that produced this score; empty for native cells. */
+    std::string metricsBrief;
 };
 
 /** One workload row of Figure 4. */

@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "hv/world_switch.hh"
 #include "sim/log.hh"
 
 namespace virtsim {
@@ -12,27 +13,37 @@ measureHypercallBreakdown(Testbed &tb)
     auto *kvm = dynamic_cast<KvmArm *>(tb.hypervisor());
     VIRTSIM_ASSERT(kvm, "hypercall breakdown requires KVM ARM");
 
-    WorldSwitchEngine &wse = kvm->switchEngine();
     Vcpu &v = tb.guest()->vcpu(0);
+    TraceSink &sink = tb.machine().trace();
+    const bool was_enabled = sink.enabled();
+    sink.enable();
+    const std::uint64_t mark = sink.total();
 
     HypercallBreakdown out;
-    wse.startRecording();
     const Cycles t0 = std::max(tb.queue().now(), tb.frontier(0));
     kvm->hypercall(t0, v, [&out, t0](Cycles t1) {
         out.hypercallCycles = t1 - t0;
     });
     tb.run();
-    wse.stopRecording();
+    if (!was_enabled)
+        sink.disable();
 
+    // Each world-switch span carries its per-class cycle cost as the
+    // span argument, so the Begin record alone attributes the class.
     std::map<RegClass, BreakdownRow> agg;
-    for (const SwitchRecord &r : wse.records()) {
-        auto &row = agg[r.cls];
-        row.cls = r.cls;
-        if (r.isSave)
-            row.save += r.cost;
+    sink.forEachSince(mark, [&agg](const TraceRecord &r) {
+        if (r.kind != TraceKind::Begin || r.cat != TraceCat::Switch)
+            return;
+        const auto info = switchTapInfo(r.tap);
+        if (!info)
+            return;
+        auto &row = agg[info->cls];
+        row.cls = info->cls;
+        if (info->isSave)
+            row.save += r.arg;
         else
-            row.restore += r.cost;
-    }
+            row.restore += r.arg;
+    });
     for (RegClass cls : armRegClasses) {
         auto it = agg.find(cls);
         if (it == agg.end())

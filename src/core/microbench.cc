@@ -221,7 +221,9 @@ runMicrobenchSweep(const std::vector<SutKind> &kinds, int iterations)
         tc.kind = kind;
         Testbed tb(tc);
         MicrobenchSuite suite(tb);
-        return MicroSweepColumn{kind, suite.runAll(iterations)};
+        MicroSweepColumn col{kind, suite.runAll(iterations), {}};
+        col.metrics = tb.metrics().snapshot();
+        return col;
     });
 }
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/testbed.hh"
+#include "sim/probe.hh"
 #include "sim/stats.hh"
 
 namespace virtsim {
@@ -61,6 +62,9 @@ struct MicroSweepColumn
 {
     SutKind kind = SutKind::KvmArm;
     std::vector<MicroResult> results;
+    /** Metrics captured after the column ran (trap counts, world
+     *  switches, vIRQ injections per VM). */
+    MetricsSnapshot metrics;
 };
 
 /**

@@ -9,7 +9,24 @@ namespace virtsim {
 
 namespace {
 
-/** Per-transaction timestamp record for the Table V analysis. */
+/** The Table V instrumentation points (the paper's tcpdump taps),
+ *  stamped into the machine's trace sink per transaction. */
+struct RrTaps
+{
+    TapId hostRx = internTap("host.datalink.rx");   ///< "recv"
+    TapId vmRx = internTap("vm.driver.rx");         ///< "VM recv"
+    TapId vmTx = internTap("vm.driver.tx");         ///< "VM send"
+    TapId serverTx = internTap("host.datalink.tx"); ///< "send"
+};
+
+const RrTaps &
+rrTaps()
+{
+    static const RrTaps taps;
+    return taps;
+}
+
+/** Per-transaction timestamps, rebuilt from the trace after the run. */
 struct RrStamps
 {
     Cycles hostRx = 0;    ///< server datalink rx ("recv")
@@ -26,7 +43,25 @@ runNetperfRr(Testbed &tb, NetperfRrConfig cfg)
     const int total = cfg.transactions + cfg.warmup;
     const NetstackCosts &net = tb.netCosts();
     const Frequency f = tb.freq();
-    std::vector<RrStamps> stamps(static_cast<std::size_t>(total));
+    const RrTaps &taps = rrTaps();
+
+    tb.beginRun();
+
+    // The Table V decomposition is computed from trace records, so
+    // recording must be on for this run even when VIRTSIM_TRACE is
+    // unset. A virtualized transaction emits a few dozen records
+    // (world-switch spans, vIRQ instants, I/O instants) on top of the
+    // four taps; size the ring so nothing this run needs is dropped.
+    TraceSink &sink = tb.trace();
+    const bool was_enabled = sink.enabled();
+    // A fully instrumented transaction writes ~62 records (measured
+    // on KVM and Xen); 96 leaves headroom without over-allocating.
+    const std::size_t needed =
+        static_cast<std::size_t>(total + 16) * 96;
+    if (sink.capacity() < needed)
+        sink.setCapacity(needed);
+    sink.enable();
+    const std::uint64_t mark = sink.total();
 
     // The netperf server blocks in recv() between transactions.
     tb.setIdle(0, true);
@@ -34,14 +69,12 @@ runNetperfRr(Testbed &tb, NetperfRrConfig cfg)
     std::uint64_t current = 0; // transaction id
 
     tb.onHostRx = [&](Cycles t, const Packet &pkt) {
-        if (pkt.flow < stamps.size())
-            stamps[pkt.flow].hostRx = t;
+        sink.stamp(t, pkt.flow, taps.hostRx);
     };
 
     tb.onVmRx = [&](Cycles t, const Packet &pkt) {
         const std::uint64_t id = pkt.flow;
-        if (id < stamps.size())
-            stamps[id].vmRx = t;
+        sink.stamp(t, id, taps.vmRx);
         tb.setIdle(0, false);
         // Guest side: stack rx, wake netserver, echo, stack tx.
         Cycles work = net.rxStack + net.socketWake +
@@ -49,16 +82,14 @@ runNetperfRr(Testbed &tb, NetperfRrConfig cfg)
         if (tb.virtualized())
             work += net.guestResidual;
         const Cycles t1 = tb.charge(t, 0, work);
-        tb.queue().scheduleAt(t1, [&tb, &stamps, id, t1] {
-            if (id < stamps.size())
-                stamps[id].vmSend = t1;
+        tb.queue().scheduleAt(t1, [&tb, &sink, &taps, id, t1] {
+            sink.stamp(t1, id, taps.vmTx);
             Packet reply;
             reply.flow = id;
             reply.bytes = 1;
             reply.born = t1;
-            tb.send(t1, 0, reply, [&tb, &stamps, id](Cycles t2) {
-                if (id < stamps.size())
-                    stamps[id].serverTx = t2;
+            tb.send(t1, 0, reply, [&tb, &sink, &taps, id](Cycles t2) {
+                sink.stamp(t2, id, taps.serverTx);
                 // Server application blocks in recv() again.
                 tb.setIdle(0, true);
             });
@@ -94,12 +125,38 @@ runNetperfRr(Testbed &tb, NetperfRrConfig cfg)
 
     VIRTSIM_ASSERT(current >= static_cast<std::uint64_t>(total),
                    "TCP_RR incomplete: ", current, " of ", total);
+    if (sink.dropped() > 0) {
+        warn("TCP_RR trace ring overflowed (", sink.dropped(),
+             " records dropped); Table V legs may be incomplete");
+    }
+
+    // Rebuild the per-transaction timestamps from the trace.
+    std::vector<RrStamps> stamps(static_cast<std::size_t>(total));
+    sink.forEachSince(mark, [&stamps, &taps](const TraceRecord &r) {
+        if (r.kind != TraceKind::Instant || r.cat != TraceCat::Tap)
+            return;
+        if (r.arg >= stamps.size())
+            return;
+        RrStamps &s = stamps[static_cast<std::size_t>(r.arg)];
+        if (r.tap == taps.hostRx)
+            s.hostRx = r.when;
+        else if (r.tap == taps.vmRx)
+            s.vmRx = r.when;
+        else if (r.tap == taps.vmTx)
+            s.vmSend = r.when;
+        else if (r.tap == taps.serverTx)
+            s.serverTx = r.when;
+    });
+    if (!was_enabled)
+        sink.disable();
 
     // Aggregate the measured window (skip warmup).
     NetperfRrResult out;
     SampleStat s2r, r2s, r2vr, vr2vs, vs2s;
     for (int i = cfg.warmup; i < total; ++i) {
         const auto &s = stamps[static_cast<std::size_t>(i)];
+        VIRTSIM_ASSERT(s.serverTx > 0,
+                       "TCP_RR txn ", i, " missing from trace");
         VIRTSIM_ASSERT(s.serverTx >= s.vmSend &&
                        s.vmSend >= s.vmRx && s.vmRx >= s.hostRx,
                        "TCP_RR stamp ordering broken at txn ", i);
@@ -130,6 +187,7 @@ runNetperfRr(Testbed &tb, NetperfRrConfig cfg)
 NetperfStreamResult
 runNetperfStream(Testbed &tb, NetperfStreamConfig cfg)
 {
+    tb.beginRun();
     const NetstackCosts &net = tb.netCosts();
     const Frequency f = tb.freq();
 
@@ -185,6 +243,7 @@ runNetperfStream(Testbed &tb, NetperfStreamConfig cfg)
 NetperfStreamResult
 runNetperfMaerts(Testbed &tb, NetperfStreamConfig cfg)
 {
+    tb.beginRun();
     const NetstackCosts &net = tb.netCosts();
     const Frequency f = tb.freq();
     const std::uint32_t seg_bytes = tb.tsoBytes();

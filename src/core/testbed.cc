@@ -1,5 +1,10 @@
 #include "core/testbed.hh"
 
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+
 #include "os/kernel.hh"
 #include "sim/log.hh"
 
@@ -84,6 +89,78 @@ Testbed::Testbed(TestbedConfig config)
         buildVirtualized();
     else
         buildNative();
+
+    // Observability opt-in: VIRTSIM_TRACE=<file> records and exports
+    // a Perfetto-loadable trace; VIRTSIM_METRICS=<file> dumps the
+    // metrics snapshot as JSON. Either also attaches the event-kernel
+    // dispatch profiler.
+    if (const char *p = std::getenv("VIRTSIM_TRACE")) {
+        if (*p) {
+            tracePath = p;
+            server->trace().enable();
+        }
+    }
+    if (const char *p = std::getenv("VIRTSIM_METRICS")) {
+        if (*p)
+            metricsPath = p;
+    }
+    if (!tracePath.empty() || !metricsPath.empty())
+        eq.setProfiler(&server->probe().profiler);
+}
+
+namespace {
+
+/** "out.json" + KVM ARM -> "out.kvm_arm.json": benches that build
+ *  several testbeds export one distinct file per configuration
+ *  instead of clobbering a shared path. */
+std::string
+perKindPath(const std::string &path, SutKind kind)
+{
+    std::string tag = to_string(kind);
+    for (char &c : tag)
+        c = std::isalnum(static_cast<unsigned char>(c))
+                ? static_cast<char>(
+                      std::tolower(static_cast<unsigned char>(c)))
+                : '_';
+    const std::size_t dot = path.rfind('.');
+    if (dot == std::string::npos || path.find('/', dot) !=
+                                        std::string::npos)
+        return path + "." + tag;
+    return path.substr(0, dot) + "." + tag + path.substr(dot);
+}
+
+} // namespace
+
+Testbed::~Testbed()
+{
+    if (tracePath.empty() && metricsPath.empty())
+        return;
+    // Parallel sweeps tear testbeds down from worker threads; exports
+    // go one at a time. Same-kind testbeds still share a path (last
+    // writer wins); distinct configurations never clobber each other.
+    static std::mutex export_mutex;
+    std::lock_guard<std::mutex> lock(export_mutex);
+    if (!tracePath.empty()) {
+        exportChromeTrace(perKindPath(tracePath, cfg.kind),
+                          server->trace(), server->freq(),
+                          to_string(cfg.kind));
+    }
+    if (!metricsPath.empty()) {
+        const std::string path = perKindPath(metricsPath, cfg.kind);
+        std::ofstream os(path);
+        if (!os) {
+            warn("cannot open metrics file ", path);
+        } else {
+            os << server->metrics().snapshot().toJson() << "\n";
+        }
+    }
+}
+
+void
+Testbed::beginRun()
+{
+    server->stats().reset();
+    server->probe().reset();
 }
 
 void

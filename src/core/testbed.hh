@@ -85,6 +85,7 @@ class Testbed
 {
   public:
     explicit Testbed(TestbedConfig config);
+    ~Testbed();
 
     Testbed(const Testbed &) = delete;
     Testbed &operator=(const Testbed &) = delete;
@@ -93,8 +94,18 @@ class Testbed
     EventQueue &queue() { return eq; }
     Machine &machine() { return *server; }
     Random &random() { return rng; }
-    Tracer &tracer() { return server->tracer(); }
+    Probe &probe() { return server->probe(); }
+    TraceSink &trace() { return server->trace(); }
+    MetricsRegistry &metrics() { return server->metrics(); }
     const NetstackCosts &netCosts() const { return net; }
+
+    /**
+     * Reset run-scoped observability (stats, counters, trace records,
+     * profiler) so back-to-back workloads on one testbed report
+     * independent numbers. Workload entry points call this; tap
+     * registrations and the trace-enabled flag survive.
+     */
+    void beginRun();
 
     /** Null for the native configuration. */
     Hypervisor *hypervisor() { return hv.get(); }
@@ -184,6 +195,8 @@ class Testbed
     std::unique_ptr<Wire> wire_;
     Vm *guestVm = nullptr;
     NetstackCosts net;
+    std::string tracePath;   ///< VIRTSIM_TRACE destination, if set
+    std::string metricsPath; ///< VIRTSIM_METRICS destination, if set
     std::uint64_t txSeq = 0;
     /** Native-mode pending IPI completions per CPU. */
     std::array<std::deque<Done>, 8> nativeIpiDone;

@@ -17,6 +17,7 @@ namespace virtsim {
 double
 runCpuWorkload(Testbed &tb, const CpuWorkloadParams &p)
 {
+    tb.beginRun();
     const Frequency f = tb.freq();
     Random &rng = tb.random();
     const Cycles window = f.cyclesFromSeconds(p.windowSeconds);
@@ -113,6 +114,7 @@ runCpuWorkload(Testbed &tb, const CpuWorkloadParams &p)
 double
 runRequestResponse(Testbed &tb, const ServerAppParams &p)
 {
+    tb.beginRun();
     const Frequency f = tb.freq();
     const NetstackCosts &net = tb.netCosts();
     const Cycles t_start = f.cycles(300.0);

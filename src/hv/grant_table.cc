@@ -4,6 +4,24 @@
 
 namespace virtsim {
 
+namespace {
+
+struct GrantTaps
+{
+    TapId map = internTap("grant.map");
+    TapId unmap = internTap("grant.unmap");
+    TapId copy = internTap("grant.copy");
+};
+
+const GrantTaps &
+grantTaps()
+{
+    static const GrantTaps taps;
+    return taps;
+}
+
+} // namespace
+
 GrantTable::GrantTable(Machine &m, Vm &granter)
     : mach(m), granter(granter)
 {
@@ -40,6 +58,9 @@ GrantTable::map(GrantRef ref)
     VIRTSIM_ASSERT(!it->second.mapped, "double map of grant ", ref);
     it->second.mapped = true;
     mach.stats().counter("grant.maps").inc();
+    mach.trace().instant(mach.queue().now(), grantTaps().map,
+                         TraceCat::Io, noTrack,
+                         static_cast<std::uint64_t>(ref));
     return grantMapFixedCost();
 }
 
@@ -51,6 +72,9 @@ GrantTable::unmap(GrantRef ref)
     VIRTSIM_ASSERT(it->second.mapped, "unmap of unmapped grant ", ref);
     it->second.mapped = false;
     mach.stats().counter("grant.unmaps").inc();
+    mach.trace().instant(mach.queue().now(), grantTaps().unmap,
+                         TraceCat::Io, noTrack,
+                         static_cast<std::uint64_t>(ref));
     // Removing the mapping requires invalidating any cached
     // translation on every physical CPU before the page can be
     // considered private again.
@@ -65,6 +89,8 @@ GrantTable::copy(GrantRef ref, std::uint32_t bytes)
     auto it = grants.find(ref);
     VIRTSIM_ASSERT(it != grants.end(), "copy via unknown grant ", ref);
     mach.stats().counter("grant.copies").inc();
+    mach.trace().instant(mach.queue().now(), grantTaps().copy,
+                         TraceCat::Io, noTrack, bytes);
     return grantCopyFixedCost() + mach.memory().copyCost(bytes);
 }
 

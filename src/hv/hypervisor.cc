@@ -12,6 +12,18 @@ to_string(HvType t)
 
 Hypervisor::Hypervisor(Machine &m) : mach(m), wse(m.costs())
 {
+    wse.attachTrace(&m.trace());
+}
+
+MetricsDomain &
+Hypervisor::vmMetrics(const Vm &vm)
+{
+    const auto i = static_cast<std::size_t>(vm.id());
+    if (i >= vmDomains.size())
+        vmDomains.resize(i + 1, nullptr);
+    if (vmDomains[i] == nullptr)
+        vmDomains[i] = &mach.metrics().vm(vm.name());
+    return *vmDomains[i];
 }
 
 Vm &

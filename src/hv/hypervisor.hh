@@ -74,6 +74,19 @@ class Hypervisor
     EventQueue &queue() { return mach.queue(); }
     WorldSwitchEngine &switchEngine() { return wse; }
 
+    /** The machine's trace sink (the engine's spans go there too). */
+    TraceSink &trace() { return mach.trace(); }
+
+    /** Per-VM metrics domain, cached by VM id so hot hypervisor
+     *  paths pay an array index, not a name lookup. */
+    MetricsDomain &vmMetrics(const Vm &vm);
+
+    /** Per-physical-CPU metrics domain. */
+    MetricsDomain &cpuMetrics(PcpuId cpu)
+    {
+        return mach.metrics().cpu(cpu);
+    }
+
     /** @name VM lifecycle */
     ///@{
     /**
@@ -195,6 +208,8 @@ class Hypervisor
     Machine &mach;
     WorldSwitchEngine wse;
     std::vector<std::unique_ptr<Vm>> _vms;
+    /** vmMetrics cache, indexed by VM id. */
+    std::vector<MetricsDomain *> vmDomains;
     VirqDistribution virqDist = VirqDistribution::SingleVcpu;
     VcpuId nextVirqRr = 0;
     VmId nextVmId = 1; // 0 is reserved for Xen's Dom0

@@ -5,6 +5,34 @@
 
 namespace virtsim {
 
+namespace {
+
+/** KVM instrumentation taps, interned once per process. */
+struct KvmTaps
+{
+    TapId exit = internTap("kvm.exit");
+    TapId enter = internTap("kvm.enter");
+    TapId worldSwitch = internTap("kvm.world_switch");
+    TapId trapHypercall = internTap("kvm.trap.hypercall");
+    TapId trapIrqchip = internTap("kvm.trap.irqchip");
+    TapId trapVipi = internTap("kvm.trap.vipi");
+    TapId trapVmSwitch = internTap("kvm.trap.vm_switch");
+    TapId trapIoOut = internTap("kvm.trap.io_out");
+    TapId ioIn = internTap("kvm.io_in");
+    TapId virqInjected = internTap("kvm.virq_injected");
+    TapId txKick = internTap("kvm.io.tx_kick");
+    TapId rxDeliver = internTap("kvm.io.rx_deliver");
+};
+
+const KvmTaps &
+kvmTaps()
+{
+    static const KvmTaps taps;
+    return taps;
+}
+
+} // namespace
+
 KvmArm::KvmArm(Machine &m)
     : Hypervisor(m),
       hostCtx(static_cast<std::size_t>(m.numCpus())),
@@ -77,7 +105,7 @@ KvmArm::exitToHost(Cycles t, Vcpu &v)
     // VGIC state back from the interrupt controller, the dominant
     // term (Table III). The host's EL1 state is re-established as
     // part of the same sequence.
-    c += wse.save(cpu, v.savedRegs(), kvmArmSwitchedState);
+    c += wse.save(cpu, v.savedRegs(), kvmArmSwitchedState, t + c);
     // The host needs full hardware access: disable Stage-2 and traps.
     c += cm.stage2Toggle;
     // Return to the host kernel in EL1 (second half of the double
@@ -95,7 +123,13 @@ KvmArm::exitToHost(Cycles t, Vcpu &v)
     cpu.setMode(CpuMode::El1);
     cpu.setContext("host");
     stats().counter("kvm.vm_exits").inc();
-    return cpu.charge(t, c);
+    const Cycles tr = cpu.charge(t, c);
+    const KvmTaps &taps = kvmTaps();
+    trace().span(t, tr, taps.exit, TraceCat::Switch,
+                 static_cast<std::uint16_t>(v.pcpu()), c);
+    vmMetrics(v.vm()).counter(taps.worldSwitch).inc();
+    cpuMetrics(v.pcpu()).counter(taps.worldSwitch).inc();
+    return tr;
 }
 
 Cycles
@@ -128,7 +162,7 @@ KvmArm::enterVm(Cycles t, Vcpu &v)
     }
 
     Cycles c = cm.trapToEl2 + params.el2Dispatch + flush;
-    c += wse.restore(cpu, v.savedRegs(), kvmArmSwitchedState);
+    c += wse.restore(cpu, v.savedRegs(), kvmArmSwitchedState, t + c);
     c += cm.stage2Toggle; // re-enable Stage-2 translation and traps
     c += cm.eretToEl1;
 
@@ -139,7 +173,13 @@ KvmArm::enterVm(Cycles t, Vcpu &v)
     cpu.setMode(CpuMode::El1);
     cpu.setContext(v.name());
     stats().counter("kvm.vm_entries").inc();
-    return cpu.charge(t, c);
+    const Cycles tr = cpu.charge(t, c);
+    const KvmTaps &taps = kvmTaps();
+    trace().span(t, tr, taps.enter, TraceCat::Switch,
+                 static_cast<std::uint16_t>(v.pcpu()), c);
+    vmMetrics(v.vm()).counter(taps.worldSwitch).inc();
+    cpuMetrics(v.pcpu()).counter(taps.worldSwitch).inc();
+    return tr;
 }
 
 void
@@ -150,6 +190,7 @@ KvmArm::hypercall(Cycles t, Vcpu &v, Done done)
         mach.cpu(v.pcpu()).charge(t1, params.hypercallHandler);
     const Cycles t3 = enterVm(t2, v);
     stats().counter("kvm.hypercalls").inc();
+    vmMetrics(v.vm()).histogram(kvmTaps().trapHypercall).add(t3 - t);
     queue().scheduleAt(t3, [t3, done] { done(t3); });
 }
 
@@ -164,6 +205,7 @@ KvmArm::irqControllerTrap(Cycles t, Vcpu &v, Done done)
         mach.cpu(v.pcpu()).charge(t1, params.vgicDistEmulation);
     const Cycles t3 = enterVm(t2, v);
     stats().counter("kvm.irqchip_traps").inc();
+    vmMetrics(v.vm()).histogram(kvmTaps().trapIrqchip).add(t3 - t);
     queue().scheduleAt(t3, [t3, done] { done(t3); });
 }
 
@@ -196,6 +238,10 @@ KvmArm::injectVirq(Cycles t, Vcpu &v, IrqId virq, Done done)
     VgicDistributor &d = dist(v.vm());
     d.setPending(v.id(), virq);
     stats().counter("kvm.virq_injected").inc();
+    vmMetrics(v.vm()).counter(kvmTaps().virqInjected).inc();
+    trace().instant(t, kvmTaps().virqInjected, TraceCat::Irq,
+                    static_cast<std::uint16_t>(v.pcpu()),
+                    static_cast<std::uint64_t>(virq));
 
     switch (v.state()) {
       case VcpuState::Running: {
@@ -247,6 +293,7 @@ KvmArm::virtualIpi(Cycles t, Vcpu &src, Vcpu &dst, Done done)
 
     // The kick races ahead; the sender's own re-entry is off the
     // measured path but still consumes its CPU.
+    vmMetrics(src.vm()).histogram(kvmTaps().trapVipi).add(t2 - t);
     injectVirq(t2, dst, sgiRescheduleIrq + 8, done);
     enterVm(t2, src);
 }
@@ -284,6 +331,7 @@ KvmArm::vmSwitch(Cycles t, Vcpu &from, Vcpu &to, Done done)
         mach.cpu(from.pcpu()).charge(t1, params.vcpuSwitchWork);
     const Cycles t3 = enterVm(t2, to);
     stats().counter("kvm.vm_switches").inc();
+    vmMetrics(to.vm()).histogram(kvmTaps().trapVmSwitch).add(t3 - t);
     queue().scheduleAt(t3, [t3, done] { done(t3); });
 }
 
@@ -301,6 +349,7 @@ KvmArm::ioSignalOut(Cycles t, Vcpu &v, Done done)
     PhysicalCpu &worker = mach.cpu(_vhost->params().workerPcpu);
     const Cycles t3 = worker.charge(t2, params.vhostNotifyLatency);
     stats().counter("kvm.io_signal_out").inc();
+    vmMetrics(v.vm()).histogram(kvmTaps().trapIoOut).add(t3 - t);
     queue().scheduleAt(t3, [t3, done] { done(t3); });
 }
 
@@ -313,6 +362,8 @@ KvmArm::ioSignalIn(Cycles t, Vcpu &v, Done done)
     PhysicalCpu &worker = mach.cpu(_vhost->params().workerPcpu);
     const Cycles t1 = worker.charge(t, params.irqfdInject);
     stats().counter("kvm.io_signal_in").inc();
+    trace().instant(t, kvmTaps().ioIn, TraceCat::Io,
+                    static_cast<std::uint16_t>(v.pcpu()));
     injectVirq(t1, v, spiNicIrq, done);
 }
 
@@ -338,6 +389,8 @@ KvmArm::deliverPacketToVm(Cycles t, Vm &vm, const Packet &pkt, Done done)
 {
     VIRTSIM_ASSERT(_vhost && netVm == &vm,
                    "deliverPacketToVm: vm has no attached vNIC");
+    trace().instant(t, kvmTaps().rxDeliver, TraceCat::Io, noTrack,
+                    pkt.seq);
     _vhost->hostRxToGuest(t, pkt, true,
                           [this, &vm, pkt, done](Cycles tr) {
                               notifyGuestRx(tr, vm, pkt, done);
@@ -425,6 +478,8 @@ KvmArm::guestTransmit(Cycles t, Vcpu &v, const Packet &pkt, Done done)
     enterVm(t2, v);
     PhysicalCpu &worker = mach.cpu(_vhost->params().workerPcpu);
     const Cycles t3 = worker.charge(t2, params.vhostNotifyLatency);
+    trace().span(t0, t3, kvmTaps().txKick, TraceCat::Io,
+                 static_cast<std::uint16_t>(v.pcpu()), pkt.seq);
     txPumpActive = true;
     queue().scheduleAt(t3, [this, t3] { pumpTx(t3); });
 }

@@ -4,6 +4,25 @@
 
 namespace virtsim {
 
+namespace {
+
+struct VheTaps
+{
+    TapId exit = internTap("kvm.exit");
+    TapId enter = internTap("kvm.enter");
+    TapId worldSwitch = internTap("kvm.world_switch");
+    TapId trapVmSwitch = internTap("kvm.trap.vm_switch");
+};
+
+const VheTaps &
+vheTaps()
+{
+    static const VheTaps taps;
+    return taps;
+}
+
+} // namespace
+
 KvmArmVhe::KvmArmVhe(Machine &m) : KvmArm(m)
 {
 }
@@ -25,14 +44,21 @@ KvmArmVhe::exitToHost(Cycles t, Vcpu &v)
     // VI: "trapping from EL1 to EL2 does not require saving and
     // restoring state beyond general purpose registers").
     const Cycles c = cm.trapToEl2 + vheDispatch +
-                     wse.save(cpu, v.savedRegs(), {RegClass::Gp});
+                     wse.save(cpu, v.savedRegs(), {RegClass::Gp},
+                              t + cm.trapToEl2 + vheDispatch);
 
     ctx.inVm = false;
     v.setState(VcpuState::InHyp);
     cpu.setMode(CpuMode::El2);
     cpu.setContext("host-el2");
     stats().counter("kvm.vm_exits").inc();
-    return cpu.charge(t, c);
+    const Cycles tr = cpu.charge(t, c);
+    const VheTaps &taps = vheTaps();
+    trace().span(t, tr, taps.exit, TraceCat::Switch,
+                 static_cast<std::uint16_t>(v.pcpu()), c);
+    vmMetrics(v.vm()).counter(taps.worldSwitch).inc();
+    cpuMetrics(v.pcpu()).counter(taps.worldSwitch).inc();
+    return tr;
 }
 
 Cycles
@@ -56,7 +82,8 @@ KvmArmVhe::enterVm(Cycles t, Vcpu &v)
         flush += mach.gic().lrWriteCost();
     }
     const Cycles c =
-        flush + wse.restore(cpu, v.savedRegs(), {RegClass::Gp}) +
+        flush +
+        wse.restore(cpu, v.savedRegs(), {RegClass::Gp}, t + flush) +
         cm.eretToEl1;
 
     ctx.inVm = true;
@@ -66,7 +93,13 @@ KvmArmVhe::enterVm(Cycles t, Vcpu &v)
     cpu.setMode(CpuMode::El1);
     cpu.setContext(v.name());
     stats().counter("kvm.vm_entries").inc();
-    return cpu.charge(t, c);
+    const Cycles tr = cpu.charge(t, c);
+    const VheTaps &taps = vheTaps();
+    trace().span(t, tr, taps.enter, TraceCat::Switch,
+                 static_cast<std::uint16_t>(v.pcpu()), c);
+    vmMetrics(v.vm()).counter(taps.worldSwitch).inc();
+    cpuMetrics(v.pcpu()).counter(taps.worldSwitch).inc();
+    return tr;
 }
 
 void
@@ -83,15 +116,17 @@ KvmArmVhe::vmSwitch(Cycles t, Vcpu &from, Vcpu &to, Done done)
     Cycles c = wse.save(cpu, from.savedRegs(),
                         {RegClass::Fp, RegClass::El1Sys, RegClass::Vgic,
                          RegClass::Timer, RegClass::El2Config,
-                         RegClass::El2VirtMem});
+                         RegClass::El2VirtMem}, t1);
     c += params.vcpuSwitchWork;
     c += wse.restore(cpu, to.savedRegs(),
                      {RegClass::Fp, RegClass::El1Sys, RegClass::Vgic,
                       RegClass::Timer, RegClass::El2Config,
-                      RegClass::El2VirtMem});
+                      RegClass::El2VirtMem},
+                     t1 + c);
     const Cycles t2 = cpu.charge(t1, c);
     const Cycles t3 = enterVm(t2, to);
     stats().counter("kvm.vm_switches").inc();
+    vmMetrics(to.vm()).histogram(vheTaps().trapVmSwitch).add(t3 - t);
     queue().scheduleAt(t3, [t3, done] { done(t3); });
 }
 

@@ -2,8 +2,32 @@
 
 #include "os/kernel.hh"
 #include "sim/log.hh"
+#include "sim/probe.hh"
 
 namespace virtsim {
+
+namespace {
+
+/** KVM x86 instrumentation taps, interned once per process. */
+struct KvmX86Taps
+{
+    TapId worldSwitch = internTap("kvm.world_switch");
+    TapId trapHypercall = internTap("kvm.trap.hypercall");
+    TapId trapIrqchip = internTap("kvm.trap.irqchip");
+    TapId trapVipi = internTap("kvm.trap.vipi");
+    TapId trapVmSwitch = internTap("kvm.trap.vm_switch");
+    TapId trapEoi = internTap("kvm.trap.eoi");
+    TapId virqInjected = internTap("kvm.virq_injected");
+};
+
+const KvmX86Taps &
+kvmX86Taps()
+{
+    static const KvmX86Taps taps;
+    return taps;
+}
+
+} // namespace
 
 KvmX86::KvmX86(Machine &m)
     : Hypervisor(m),
@@ -77,6 +101,8 @@ KvmX86::exitToHost(Cycles t, Vcpu &v)
     cpu.setMode(CpuMode::KernelRoot);
     cpu.setContext("host");
     stats().counter("kvm.vm_exits").inc();
+    vmMetrics(v.vm()).counter(kvmX86Taps().worldSwitch).inc();
+    cpuMetrics(v.pcpu()).counter(kvmX86Taps().worldSwitch).inc();
     return cpu.charge(t, c);
 }
 
@@ -108,6 +134,8 @@ KvmX86::enterVm(Cycles t, Vcpu &v)
     cpu.setMode(CpuMode::KernelNonRoot);
     cpu.setContext(v.name());
     stats().counter("kvm.vm_entries").inc();
+    vmMetrics(v.vm()).counter(kvmX86Taps().worldSwitch).inc();
+    cpuMetrics(v.pcpu()).counter(kvmX86Taps().worldSwitch).inc();
     return cpu.charge(t, c);
 }
 
@@ -119,6 +147,8 @@ KvmX86::hypercall(Cycles t, Vcpu &v, Done done)
         mach.cpu(v.pcpu()).charge(t1, params.hypercallHandler);
     const Cycles t3 = enterVm(t2, v);
     stats().counter("kvm.hypercalls").inc();
+    vmMetrics(v.vm()).histogram(kvmX86Taps().trapHypercall)
+        .add(t3 - t);
     queue().scheduleAt(t3, [t3, done] { done(t3); });
 }
 
@@ -130,6 +160,8 @@ KvmX86::irqControllerTrap(Cycles t, Vcpu &v, Done done)
         mach.cpu(v.pcpu()).charge(t1, params.apicEmulation);
     const Cycles t3 = enterVm(t2, v);
     stats().counter("kvm.irqchip_traps").inc();
+    vmMetrics(v.vm()).histogram(kvmX86Taps().trapIrqchip)
+        .add(t3 - t);
     queue().scheduleAt(t3, [t3, done] { done(t3); });
 }
 
@@ -161,6 +193,7 @@ KvmX86::injectVirq(Cycles t, Vcpu &v, IrqId virq, Done done)
 {
     dist(v.vm()).setPending(v.id(), virq);
     stats().counter("kvm.virq_injected").inc();
+    vmMetrics(v.vm()).counter(kvmX86Taps().virqInjected).inc();
 
     switch (v.state()) {
       case VcpuState::Running: {
@@ -199,6 +232,8 @@ KvmX86::virtualIpi(Cycles t, Vcpu &src, Vcpu &dst, Done done)
     const Cycles t2 = scpu.charge(
         t1, params.apicEmulation + params.kickPath +
                 mach.costs().irqChipRegAccess);
+    vmMetrics(src.vm()).histogram(kvmX86Taps().trapVipi)
+        .add(t2 - t);
     injectVirq(t2, dst, sgiRescheduleIrq + 8, done);
     enterVm(t2, src);
 }
@@ -221,6 +256,7 @@ KvmX86::virqComplete(Cycles t, Vcpu &v, Done done)
         mach.cpu(v.pcpu()).charge(t1, params.eoiEmulation);
     const Cycles t3 = enterVm(t2, v);
     stats().counter("kvm.virq_complete_trap").inc();
+    vmMetrics(v.vm()).histogram(kvmX86Taps().trapEoi).add(t3 - t);
     queue().scheduleAt(t3, [t3, done] { done(t3); });
 }
 
@@ -237,6 +273,8 @@ KvmX86::vmSwitch(Cycles t, Vcpu &from, Vcpu &to, Done done)
                                           mach.costs().vmcsSwitch);
     const Cycles t3 = enterVm(t2, to);
     stats().counter("kvm.vm_switches").inc();
+    vmMetrics(to.vm()).histogram(kvmX86Taps().trapVmSwitch)
+        .add(t3 - t);
     queue().scheduleAt(t3, [t3, done] { done(t3); });
 }
 

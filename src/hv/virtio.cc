@@ -4,6 +4,24 @@
 
 namespace virtsim {
 
+namespace {
+
+struct VirtioTaps
+{
+    TapId guestPost = internTap("virtio.guest_post");
+    TapId hostPop = internTap("virtio.host_pop");
+    TapId hostPush = internTap("virtio.host_push");
+};
+
+const VirtioTaps &
+virtioTaps()
+{
+    static const VirtioTaps taps;
+    return taps;
+}
+
+} // namespace
+
 VirtioQueue::VirtioQueue(Machine &m, Vm &guest, std::size_t capacity)
     : mach(m), guest(guest), capacity(capacity)
 {
@@ -18,6 +36,8 @@ VirtioQueue::guestPost(const VirtioDesc &desc)
                    "guest posting buffer it does not own");
     avail.push_back(desc);
     mach.stats().counter("virtio.guest_post").inc();
+    mach.trace().instant(mach.queue().now(), virtioTaps().guestPost,
+                         TraceCat::Io, noTrack, desc.pkt.seq);
     return ringOpCost();
 }
 
@@ -45,6 +65,8 @@ VirtioQueue::hostPop(VirtioDesc &out, bool &ok)
     avail.pop_front();
     ok = true;
     mach.stats().counter("virtio.host_pop").inc();
+    mach.trace().instant(mach.queue().now(), virtioTaps().hostPop,
+                         TraceCat::Io, noTrack, out.pkt.seq);
     // Zero copy: the host accesses the guest buffer directly — legal
     // because the Type 2 host kernel maps all machine memory. The
     // cross-CPU cache line transfer of the descriptor is the cost.
@@ -56,6 +78,8 @@ VirtioQueue::hostPushUsed(const VirtioDesc &desc)
 {
     used.push_back(desc);
     mach.stats().counter("virtio.host_push").inc();
+    mach.trace().instant(mach.queue().now(), virtioTaps().hostPush,
+                         TraceCat::Io, noTrack, desc.pkt.seq);
     return ringOpCost();
 }
 

@@ -10,29 +10,37 @@
  * ARM must switch everything (Table III); VHE lets a Type 2 hypervisor
  * switch almost nothing. The engine both moves the actual register
  * values (so tests can check isolation) and returns the cycle cost,
- * and can record a per-class breakdown — which is exactly how the
- * Table III bench gets its numbers.
+ * and emits one trace span per register class into an attached
+ * TraceSink — which is exactly how the Table III bench gets its
+ * numbers.
  */
 
 #ifndef VIRTSIM_HV_WORLD_SWITCH_HH
 #define VIRTSIM_HV_WORLD_SWITCH_HH
 
 #include <initializer_list>
-#include <vector>
+#include <optional>
 
 #include "hw/cost_model.hh"
 #include "hw/cpu.hh"
+#include "sim/probe.hh"
 #include "sim/types.hh"
 
 namespace virtsim {
 
-/** One recorded save or restore of one register class. */
-struct SwitchRecord
+/** What a world-switch span tap stands for, recovered from its id. */
+struct SwitchTapInfo
 {
     RegClass cls;
     bool isSave;
-    Cycles cost;
 };
+
+/** Interned tap for one (register class, save/restore) leg; e.g.
+ *  "ws.save.Vgic". Stable across calls. */
+TapId switchTap(RegClass cls, bool isSave);
+
+/** Reverse of switchTap: nullopt if the tap is not a switch leg. */
+std::optional<SwitchTapInfo> switchTapInfo(TapId tap);
 
 /**
  * Moves register state and accounts cycles.
@@ -43,31 +51,33 @@ class WorldSwitchEngine
     explicit WorldSwitchEngine(const CostModel &cm) : cm(cm) {}
 
     /**
+     * Attach the sink that receives per-class spans (category
+     * TraceCat::Switch, one span per register class, tracked on the
+     * CPU's id). Pass nullptr to detach. The sink must outlive the
+     * engine's use of it.
+     */
+    void attachTrace(TraceSink *sink) { trace = sink; }
+
+    /**
      * Save the listed register classes from the CPU's live registers
-     * into a save area.
+     * into a save area. When a sink is attached and enabled, each
+     * class emits a span starting at t (the simulated time the switch
+     * begins; legs are laid out back to back in class order).
      * @return total cycle cost (the caller charges it to the CPU).
      */
     Cycles save(PhysicalCpu &cpu, RegFile &save_area,
-                std::initializer_list<RegClass> classes);
+                std::initializer_list<RegClass> classes, Cycles t = 0);
 
     /** Restore the listed classes from a save area into the CPU. */
     Cycles restore(PhysicalCpu &cpu, const RegFile &save_area,
-                   std::initializer_list<RegClass> classes);
-
-    /** @name Breakdown recording (Table III) */
-    ///@{
-    /** Start recording per-class costs. Clears prior records. */
-    void startRecording();
-    void stopRecording();
-    const std::vector<SwitchRecord> &records() const { return recs; }
-    ///@}
+                   std::initializer_list<RegClass> classes,
+                   Cycles t = 0);
 
     const CostModel &costs() const { return cm; }
 
   private:
     const CostModel &cm;
-    bool recording = false;
-    std::vector<SwitchRecord> recs;
+    TraceSink *trace = nullptr;
 };
 
 /** The full ARM VM state a split-mode Type 2 hypervisor must switch

@@ -5,6 +5,34 @@
 
 namespace virtsim {
 
+namespace {
+
+/** Xen instrumentation taps, interned once per process. */
+struct XenTaps
+{
+    TapId trap = internTap("xen.trap");
+    TapId resume = internTap("xen.resume");
+    TapId domainSwitch = internTap("xen.domain_switch");
+    TapId worldSwitch = internTap("xen.world_switch");
+    TapId trapHypercall = internTap("xen.trap.hypercall");
+    TapId trapIrqchip = internTap("xen.trap.irqchip");
+    TapId trapVipi = internTap("xen.trap.vipi");
+    TapId trapVmSwitch = internTap("xen.trap.vm_switch");
+    TapId trapIoOut = internTap("xen.trap.io_out");
+    TapId virqInjected = internTap("xen.virq_injected");
+    TapId txKick = internTap("xen.io.tx_kick");
+    TapId rxDeliver = internTap("xen.io.rx_deliver");
+};
+
+const XenTaps &
+xenTaps()
+{
+    static const XenTaps taps;
+    return taps;
+}
+
+} // namespace
+
 XenArm::XenArm(Machine &m)
     : Hypervisor(m),
       sched(static_cast<std::size_t>(m.numCpus())),
@@ -86,7 +114,13 @@ XenArm::trapToXen(Cycles t, Vcpu &v)
     s.inGuest = false;
     cpu.setMode(CpuMode::El2);
     stats().counter("xen.traps").inc();
-    return cpu.charge(t, c);
+    const Cycles tr = cpu.charge(t, c);
+    const XenTaps &taps = xenTaps();
+    trace().span(t, tr, taps.trap, TraceCat::Switch,
+                 static_cast<std::uint16_t>(v.pcpu()), c);
+    vmMetrics(v.vm()).counter(taps.worldSwitch).inc();
+    cpuMetrics(v.pcpu()).counter(taps.worldSwitch).inc();
+    return tr;
 }
 
 Cycles
@@ -101,7 +135,10 @@ XenArm::resumeVm(Cycles t, Vcpu &v)
     cpu.regs().copyClassFrom(v.savedRegs(), RegClass::Gp);
     s.inGuest = true;
     cpu.setMode(CpuMode::El1);
-    return cpu.charge(t, c);
+    const Cycles tr = cpu.charge(t, c);
+    trace().span(t, tr, xenTaps().resume, TraceCat::Switch,
+                 static_cast<std::uint16_t>(v.pcpu()), c);
+    return tr;
 }
 
 Cycles
@@ -115,7 +152,7 @@ XenArm::switchDomains(Cycles t, Vcpu *from, Vcpu &to, bool charge_sched)
     if (from != nullptr) {
         VIRTSIM_ASSERT(from->pcpu() == to.pcpu(),
                        "domain switch across pcpus");
-        c += wse.save(cpu, from->savedRegs(), xenVmSwitchState);
+        c += wse.save(cpu, from->savedRegs(), xenVmSwitchState, t);
         from->setLoaded(false);
     } else {
         // Leaving the idle domain: next to nothing to save.
@@ -136,7 +173,7 @@ XenArm::switchDomains(Cycles t, Vcpu *from, Vcpu &to, bool charge_sched)
         c += mach.gic().lrWriteCost();
     }
 
-    c += wse.restore(cpu, to.savedRegs(), xenVmSwitchState);
+    c += wse.restore(cpu, to.savedRegs(), xenVmSwitchState, t + c);
     c += cm.eretToEl1;
 
     s.current = &to;
@@ -145,7 +182,13 @@ XenArm::switchDomains(Cycles t, Vcpu *from, Vcpu &to, bool charge_sched)
     to.setState(VcpuState::Running);
     cpu.setContext(to.name());
     stats().counter("xen.domain_switches").inc();
-    return cpu.charge(t, c);
+    const Cycles tr = cpu.charge(t, c);
+    const XenTaps &taps = xenTaps();
+    trace().span(t, tr, taps.domainSwitch, TraceCat::Switch,
+                 static_cast<std::uint16_t>(to.pcpu()), c);
+    vmMetrics(to.vm()).counter(taps.worldSwitch).inc();
+    cpuMetrics(to.pcpu()).counter(taps.worldSwitch).inc();
+    return tr;
 }
 
 Cycles
@@ -176,6 +219,7 @@ XenArm::hypercall(Cycles t, Vcpu &v, Done done)
     const Cycles t1 = trapToXen(t, v);
     const Cycles t2 = resumeVm(t1, v);
     stats().counter("xen.hypercalls").inc();
+    vmMetrics(v.vm()).histogram(xenTaps().trapHypercall).add(t2 - t);
     queue().scheduleAt(t2, [t2, done] { done(t2); });
 }
 
@@ -189,6 +233,7 @@ XenArm::irqControllerTrap(Cycles t, Vcpu &v, Done done)
         mach.cpu(v.pcpu()).charge(t1, params.vgicDistEmulation);
     const Cycles t3 = resumeVm(t2, v);
     stats().counter("xen.irqchip_traps").inc();
+    vmMetrics(v.vm()).histogram(xenTaps().trapIrqchip).add(t3 - t);
     queue().scheduleAt(t3, [t3, done] { done(t3); });
 }
 
@@ -234,6 +279,10 @@ XenArm::injectVirq(Cycles t, Vcpu &v, IrqId virq, Done done)
 {
     dist(v.vm()).setPending(v.id(), virq);
     stats().counter("xen.virq_injected").inc();
+    vmMetrics(v.vm()).counter(xenTaps().virqInjected).inc();
+    trace().instant(t, xenTaps().virqInjected, TraceCat::Irq,
+                    static_cast<std::uint16_t>(v.pcpu()),
+                    static_cast<std::uint64_t>(virq));
 
     auto &s = sched[static_cast<std::size_t>(v.pcpu())];
     if (s.current == &v && s.inGuest) {
@@ -278,6 +327,7 @@ XenArm::virtualIpi(Cycles t, Vcpu &src, Vcpu &dst, Done done)
     const Cycles t2 = scpu.charge(
         t1, params.sgiEmulation + mach.costs().irqChipRegAccess);
 
+    vmMetrics(src.vm()).histogram(xenTaps().trapVipi).add(t2 - t);
     injectVirq(t2, dst, sgiRescheduleIrq + 8, done);
     resumeVm(t2, src);
 }
@@ -315,6 +365,7 @@ XenArm::vmSwitch(Cycles t, Vcpu &from, Vcpu &to, Done done)
     from.setState(VcpuState::Idle);
     const Cycles t2 = switchDomains(t1, &from, to, true);
     stats().counter("xen.vm_switches").inc();
+    vmMetrics(to.vm()).histogram(xenTaps().trapVmSwitch).add(t2 - t);
     queue().scheduleAt(t2, [t2, done] { done(t2); });
 }
 
@@ -329,6 +380,7 @@ XenArm::ioSignalOut(Cycles t, Vcpu &v, Done done)
     PhysicalCpu &cpu = mach.cpu(v.pcpu());
     const Cycles t2 = cpu.charge(t1, evtchn->notify(portDom0));
     stats().counter("xen.io_signal_out").inc();
+    vmMetrics(v.vm()).histogram(xenTaps().trapIoOut).add(t2 - t);
 
     Vcpu &d0 = dom0Vcpu();
     kickActions[static_cast<std::size_t>(d0.pcpu())].push_back(
@@ -391,6 +443,8 @@ XenArm::deliverPacketToVm(Cycles t, Vm &vm, const Packet &pkt, Done done)
 {
     VIRTSIM_ASSERT(_netback && netVm == &vm,
                    "deliverPacketToVm: vm has no attached vNIC");
+    trace().instant(t, xenTaps().rxDeliver, TraceCat::Io, noTrack,
+                    pkt.seq);
     _netback->dom0RxToDomU(t, pkt, true,
                            [this, &vm, pkt, done](Cycles tr) {
                                notifyGuestRx(tr, vm, pkt, done);
@@ -479,6 +533,8 @@ XenArm::guestTransmit(Cycles t, Vcpu &v, const Packet &pkt, Done done)
     // Kick Dom0 via the event channel.
     const Cycles t1 = trapToXen(t0, v);
     const Cycles t2 = cpu.charge(t1, evtchn->notify(portDom0));
+    trace().span(t0, t2, xenTaps().txKick, TraceCat::Io,
+                 static_cast<std::uint16_t>(v.pcpu()), pkt.seq);
     resumeVm(t2, v);
 
     Vcpu &d0 = dom0Vcpu();

@@ -2,8 +2,31 @@
 
 #include "os/kernel.hh"
 #include "sim/log.hh"
+#include "sim/probe.hh"
 
 namespace virtsim {
+
+namespace {
+
+/** Xen x86 instrumentation taps, interned once per process. */
+struct XenX86Taps
+{
+    TapId worldSwitch = internTap("xen.world_switch");
+    TapId trapHypercall = internTap("xen.trap.hypercall");
+    TapId trapIrqchip = internTap("xen.trap.irqchip");
+    TapId trapVmSwitch = internTap("xen.trap.vm_switch");
+    TapId trapEoi = internTap("xen.trap.eoi");
+    TapId virqInjected = internTap("xen.virq_injected");
+};
+
+const XenX86Taps &
+xenX86Taps()
+{
+    static const XenX86Taps taps;
+    return taps;
+}
+
+} // namespace
 
 XenX86::XenX86(Machine &m)
     : Hypervisor(m),
@@ -85,6 +108,8 @@ XenX86::trapToXen(Cycles t, Vcpu &v)
     s.inGuest = false;
     cpu.setMode(CpuMode::KernelRoot);
     stats().counter("xen.traps").inc();
+    vmMetrics(v.vm()).counter(xenX86Taps().worldSwitch).inc();
+    cpuMetrics(v.pcpu()).counter(xenX86Taps().worldSwitch).inc();
     return cpu.charge(t, c);
 }
 
@@ -100,6 +125,8 @@ XenX86::resumeVm(Cycles t, Vcpu &v)
     const Cycles c = mach.costs().vmentryHw;
     s.inGuest = true;
     cpu.setMode(CpuMode::KernelNonRoot);
+    vmMetrics(v.vm()).counter(xenX86Taps().worldSwitch).inc();
+    cpuMetrics(v.pcpu()).counter(xenX86Taps().worldSwitch).inc();
     return cpu.charge(t, c);
 }
 
@@ -167,6 +194,8 @@ XenX86::hypercall(Cycles t, Vcpu &v, Done done)
         mach.cpu(v.pcpu()).charge(t1, params.hypercallHandler);
     const Cycles t2 = resumeVm(th, v);
     stats().counter("xen.hypercalls").inc();
+    vmMetrics(v.vm()).histogram(xenX86Taps().trapHypercall)
+        .add(t2 - t);
     queue().scheduleAt(t2, [t2, done] { done(t2); });
 }
 
@@ -178,6 +207,8 @@ XenX86::irqControllerTrap(Cycles t, Vcpu &v, Done done)
         mach.cpu(v.pcpu()).charge(t1, params.apicEmulation);
     const Cycles t3 = resumeVm(t2, v);
     stats().counter("xen.irqchip_traps").inc();
+    vmMetrics(v.vm()).histogram(xenX86Taps().trapIrqchip)
+        .add(t3 - t);
     queue().scheduleAt(t3, [t3, done] { done(t3); });
 }
 
@@ -217,6 +248,7 @@ XenX86::injectVirq(Cycles t, Vcpu &v, IrqId virq, Done done)
 {
     dist(v.vm()).setPending(v.id(), virq);
     stats().counter("xen.virq_injected").inc();
+    vmMetrics(v.vm()).counter(xenX86Taps().virqInjected).inc();
 
     auto &s = sched[static_cast<std::size_t>(v.pcpu())];
     if (s.current == &v && s.inGuest) {
@@ -271,6 +303,7 @@ XenX86::virqComplete(Cycles t, Vcpu &v, Done done)
         mach.cpu(v.pcpu()).charge(t1, params.eoiEmulation);
     const Cycles t3 = resumeVm(t2, v);
     stats().counter("xen.virq_complete_trap").inc();
+    vmMetrics(v.vm()).histogram(xenX86Taps().trapEoi).add(t3 - t);
     queue().scheduleAt(t3, [t3, done] { done(t3); });
 }
 
@@ -286,6 +319,8 @@ XenX86::vmSwitch(Cycles t, Vcpu &from, Vcpu &to, Done done)
     from.setState(VcpuState::Idle);
     const Cycles t2 = switchDomains(t1, &from, to, true);
     stats().counter("xen.vm_switches").inc();
+    vmMetrics(to.vm()).histogram(xenX86Taps().trapVmSwitch)
+        .add(t2 - t);
     queue().scheduleAt(t2, [t2, done] { done(t2); });
 }
 

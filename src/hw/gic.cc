@@ -4,8 +4,30 @@
 
 namespace virtsim {
 
-IrqChip::IrqChip(EventQueue &eq, const CostModel &cm, StatRegistry &stats)
-    : eq(eq), cm(cm), stats(stats)
+namespace {
+
+/** Taps interned once; the chip hot paths then use plain ids. */
+struct ChipTaps
+{
+    TapId ipiSent = internTap("irqchip.ipi_sent");
+    TapId virqInjected = internTap("gic.virq_injected");
+    TapId lrWrite = internTap("gic.lr_write");
+    TapId lrOverflow = internTap("gic.lr_overflow");
+    TapId irqDeliver = internTap("ev.irq_deliver");
+};
+
+const ChipTaps &
+chipTaps()
+{
+    static const ChipTaps taps;
+    return taps;
+}
+
+} // namespace
+
+IrqChip::IrqChip(EventQueue &eq, const CostModel &cm,
+                 StatRegistry &stats, Probe *probe)
+    : eq(eq), cm(cm), stats(stats), probe(probe)
 {
 }
 
@@ -34,6 +56,10 @@ void
 IrqChip::sendIpi(Cycles t, PcpuId target, IrqId irq)
 {
     stats.counter("irqchip.ipi_sent").inc();
+    if (probe) {
+        probe->metrics.machine().counter(chipTaps().ipiSent).inc();
+        probe->metrics.cpu(target).counter(chipTaps().ipiSent).inc();
+    }
     deliver(t + cm.ipiFlight, target, irq);
 }
 
@@ -43,19 +69,20 @@ IrqChip::deliver(Cycles t, PcpuId cpu, IrqId irq)
     VIRTSIM_ASSERT(handler, "no physical IRQ handler installed");
     // Schedule rather than call: delivery must respect event ordering
     // even when t == now.
-    eq.scheduleAt(t, [this, t, cpu, irq] { handler(t, cpu, irq); });
+    eq.scheduleAt(t, chipTaps().irqDeliver,
+                  [this, t, cpu, irq] { handler(t, cpu, irq); });
 }
 
 Gic::Gic(EventQueue &eq, const CostModel &cm, StatRegistry &stats,
-         int n_cpus)
-    : IrqChip(eq, cm, stats), lrs(static_cast<std::size_t>(n_cpus))
+         int n_cpus, Probe *probe)
+    : IrqChip(eq, cm, stats, probe),
+      lrs(static_cast<std::size_t>(n_cpus))
 {
 }
 
 int
 Gic::injectVirq(Cycles t, PcpuId cpu, IrqId virq)
 {
-    (void)t;
     auto &regs = listRegs(cpu);
     for (std::size_t i = 0; i < regs.size(); ++i) {
         if (regs[i].empty()) {
@@ -63,10 +90,22 @@ Gic::injectVirq(Cycles t, PcpuId cpu, IrqId virq)
             regs[i].pending = true;
             regs[i].active = false;
             stats.counter("gic.virq_injected").inc();
+            if (probe) {
+                auto &mach = probe->metrics.machine();
+                mach.counter(chipTaps().virqInjected).inc();
+                probe->trace.instant(
+                    t, chipTaps().lrWrite, TraceCat::Irq,
+                    static_cast<std::uint16_t>(cpu),
+                    static_cast<std::uint64_t>(virq));
+            }
             return static_cast<int>(i);
         }
     }
     stats.counter("gic.lr_overflow").inc();
+    if (probe) {
+        probe->metrics.machine().counter(chipTaps().lrOverflow).inc();
+        probe->metrics.cpu(cpu).counter(chipTaps().lrOverflow).inc();
+    }
     return -1;
 }
 
@@ -122,8 +161,8 @@ Gic::anyVirqLive(PcpuId cpu) const
 }
 
 Apic::Apic(EventQueue &eq, const CostModel &cm, StatRegistry &stats,
-           int n_cpus)
-    : IrqChip(eq, cm, stats),
+           int n_cpus, Probe *probe)
+    : IrqChip(eq, cm, stats, probe),
       pendingVirq(static_cast<std::size_t>(n_cpus), -1)
 {
 }
@@ -131,12 +170,17 @@ Apic::Apic(EventQueue &eq, const CostModel &cm, StatRegistry &stats,
 Cycles
 Apic::injectVirq(Cycles t, PcpuId cpu, IrqId virq)
 {
-    (void)t;
     VIRTSIM_ASSERT(cpu >= 0 &&
                    static_cast<std::size_t>(cpu) < pendingVirq.size(),
                    "bad pcpu ", cpu);
     pendingVirq[static_cast<std::size_t>(cpu)] = virq;
     stats.counter("apic.virq_injected").inc();
+    if (probe) {
+        probe->metrics.machine().counter(chipTaps().virqInjected).inc();
+        probe->trace.instant(t, chipTaps().lrWrite, TraceCat::Irq,
+                             static_cast<std::uint16_t>(cpu),
+                             static_cast<std::uint64_t>(virq));
+    }
     return cm.listRegWrite;
 }
 

@@ -33,6 +33,7 @@
 
 #include "hw/cost_model.hh"
 #include "sim/event_queue.hh"
+#include "sim/probe.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -56,7 +57,10 @@ class IrqChip
     /** Called when a physical interrupt is pended at a CPU. */
     using Handler = std::function<void(Cycles when, PcpuId cpu, IrqId irq)>;
 
-    IrqChip(EventQueue &eq, const CostModel &cm, StatRegistry &stats);
+    /** probe is optional: standalone chips (unit tests) pass none and
+     *  skip trace/metrics emission. */
+    IrqChip(EventQueue &eq, const CostModel &cm, StatRegistry &stats,
+            Probe *probe = nullptr);
     virtual ~IrqChip() = default;
 
     IrqChip(const IrqChip &) = delete;
@@ -96,6 +100,7 @@ class IrqChip
     EventQueue &eq;
     const CostModel &cm;
     StatRegistry &stats;
+    Probe *probe; ///< may be null (standalone chip)
     Handler handler;
     std::map<IrqId, PcpuId> routes;
 };
@@ -124,7 +129,7 @@ class Gic : public IrqChip
 {
   public:
     Gic(EventQueue &eq, const CostModel &cm, StatRegistry &stats,
-        int n_cpus);
+        int n_cpus, Probe *probe = nullptr);
 
     /** @name Hypervisor-side (EL2) virtual interface control */
     ///@{
@@ -183,7 +188,7 @@ class Apic : public IrqChip
 {
   public:
     Apic(EventQueue &eq, const CostModel &cm, StatRegistry &stats,
-         int n_cpus);
+         int n_cpus, Probe *probe = nullptr);
 
     /**
      * Whether the hardware supports vAPIC (APIC virtualization): with

@@ -32,16 +32,20 @@ MachineConfig::dellR320()
 
 Machine::Machine(EventQueue &eq, MachineConfig config)
     : cfg(std::move(config)), eq(eq),
-      _mmu(cfg.costs, _stats, cfg.nCpus), _memory(cfg.costs, _stats)
+      _mmu(cfg.costs, _stats, cfg.nCpus, &_probe),
+      _memory(cfg.costs, _stats)
 {
     VIRTSIM_ASSERT(cfg.nCpus > 0, "machine needs at least one cpu");
     for (int i = 0; i < cfg.nCpus; ++i)
         cpus.push_back(std::make_unique<PhysicalCpu>(i, eq, cfg.costs));
 
-    if (cfg.costs.arch == Arch::Arm)
-        chip = std::make_unique<Gic>(eq, cfg.costs, _stats, cfg.nCpus);
-    else
-        chip = std::make_unique<Apic>(eq, cfg.costs, _stats, cfg.nCpus);
+    if (cfg.costs.arch == Arch::Arm) {
+        chip = std::make_unique<Gic>(eq, cfg.costs, _stats, cfg.nCpus,
+                                     &_probe);
+    } else {
+        chip = std::make_unique<Apic>(eq, cfg.costs, _stats, cfg.nCpus,
+                                      &_probe);
+    }
 
     _timers = std::make_unique<TimerBank>(eq, *chip, cfg.nCpus);
     _nic = std::make_unique<Nic>(eq, *chip, _stats, cfg.costs.freq,

@@ -24,8 +24,8 @@
 #include "hw/nic.hh"
 #include "hw/vtimer.hh"
 #include "sim/event_queue.hh"
+#include "sim/probe.hh"
 #include "sim/stats.hh"
-#include "sim/trace.hh"
 
 namespace virtsim {
 
@@ -65,7 +65,11 @@ class Machine
 
     EventQueue &queue() { return eq; }
     StatRegistry &stats() { return _stats; }
-    Tracer &tracer() { return _tracer; }
+
+    /** Observability bundle (trace sink + metrics + profiler). */
+    Probe &probe() { return _probe; }
+    TraceSink &trace() { return _probe.trace; }
+    MetricsRegistry &metrics() { return _probe.metrics; }
 
     int numCpus() const { return static_cast<int>(cpus.size()); }
     PhysicalCpu &cpu(PcpuId id);
@@ -87,7 +91,7 @@ class Machine
     MachineConfig cfg;
     EventQueue &eq;
     StatRegistry _stats;
-    Tracer _tracer;
+    Probe _probe;
     std::vector<std::unique_ptr<PhysicalCpu>> cpus;
     std::unique_ptr<IrqChip> chip;
     std::unique_ptr<TimerBank> _timers;

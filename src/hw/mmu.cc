@@ -86,8 +86,10 @@ Tlb::invalidateAll()
     order.clear();
 }
 
-Mmu::Mmu(const CostModel &cm, StatRegistry &stats, int n_cpus)
-    : cm(cm), stats(stats), tlbs(static_cast<std::size_t>(n_cpus))
+Mmu::Mmu(const CostModel &cm, StatRegistry &stats, int n_cpus,
+         Probe *probe)
+    : cm(cm), stats(stats), probe(probe),
+      tlbs(static_cast<std::size_t>(n_cpus))
 {
 }
 
@@ -107,6 +109,11 @@ Mmu::translate(PcpuId cpu, const Stage2Tables &tables, Ipa ipa)
     const auto pa = tables.lookup(ipa);
     if (!pa) {
         stats.counter("mmu.stage2_fault").inc();
+        if (probe) {
+            static const TapId tap = internTap("mmu.stage2_fault");
+            probe->metrics.machine().counter(tap).inc();
+            probe->metrics.cpu(cpu).counter(tap).inc();
+        }
         return {std::nullopt, cost};
     }
     t.fill(tables.vmid(), ipa);

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "hw/cost_model.hh"
+#include "sim/probe.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -120,7 +121,9 @@ class Tlb
 class Mmu
 {
   public:
-    Mmu(const CostModel &cm, StatRegistry &stats, int n_cpus);
+    /** probe is optional: standalone MMUs (unit tests) pass none. */
+    Mmu(const CostModel &cm, StatRegistry &stats, int n_cpus,
+        Probe *probe = nullptr);
 
     /**
      * Translate an IPA on a CPU under the given Stage-2 tables.
@@ -150,6 +153,7 @@ class Mmu
   private:
     const CostModel &cm;
     StatRegistry &stats;
+    Probe *probe; ///< may be null (standalone MMU)
     std::vector<Tlb> tlbs;
 };
 

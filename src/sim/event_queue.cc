@@ -100,6 +100,10 @@ EventQueue::step()
     _now = top.when;
     popTop();
     Slot &s = slotAt(top.slot);
+    if (profiler && top.slot < profMeta.size()) {
+        const ProfMeta &m = profMeta[top.slot];
+        profiler->record(m.label, top.when - m.enqueuedAt);
+    }
     // Move the callback out and recycle the slot *before* firing so
     // the callback can freely schedule into the vacated slot.
     EventFn fn = std::move(s.fn);

@@ -40,6 +40,7 @@
 
 #include "sim/inline_function.hh"
 #include "sim/log.hh"
+#include "sim/probe.hh"
 #include "sim/types.hh"
 
 namespace virtsim {
@@ -81,11 +82,27 @@ class EventQueue
     EventId
     scheduleAt(Cycles when, EventFn fn)
     {
+        return scheduleAt(when, TapId(), std::move(fn));
+    }
+
+    /**
+     * Schedule fn with a label the kernel profiler (if attached)
+     * aggregates queue-wait histograms under. With no profiler the
+     * label costs one predictable branch.
+     */
+    EventId
+    scheduleAt(Cycles when, TapId label, EventFn fn)
+    {
         VIRTSIM_ASSERT(when >= _now, "scheduling into the past: when=",
                        when, " now=", _now);
         const std::uint32_t slot = allocSlot();
         Slot &s = slotAt(slot);
         s.fn = std::move(fn);
+        if (profiler) {
+            if (profMeta.size() <= slot)
+                profMeta.resize(slot + 1);
+            profMeta[slot] = ProfMeta{_now, label};
+        }
         heap.push_back(HeapEntry{when, nextSeq++, slot, s.gen});
         siftUp(heap.size() - 1);
         ++liveCount;
@@ -98,6 +115,21 @@ class EventQueue
     {
         return scheduleAt(_now + delay, std::move(fn));
     }
+
+    /** Labeled scheduleAfter; see the labeled scheduleAt. */
+    EventId
+    scheduleAfter(Cycles delay, TapId label, EventFn fn)
+    {
+        return scheduleAt(_now + delay, label, std::move(fn));
+    }
+
+    /**
+     * Attach (or detach, with nullptr) a profiler recording
+     * queue-wait time per event label at every dispatch. Slots
+     * carry the label/enqueue timestamp only while attached, so the
+     * hot path is unchanged when profiling is off.
+     */
+    void setProfiler(EventKernelProfiler *p) { profiler = p; }
 
     /**
      * Cancel a pending event in O(1). The slot is recycled
@@ -155,11 +187,21 @@ class EventQueue
         std::uint32_t gen;
     };
 
-    /** One arena cell: just the callback and its reuse generation. */
+    /** One arena cell: the callback and its reuse generation. Kept
+     *  minimal so the arena stays cache-dense; profiling metadata
+     *  lives in the parallel profMeta array, touched only while a
+     *  profiler is attached. */
     struct Slot
     {
         EventFn fn;
         std::uint32_t gen = 0;
+    };
+
+    /** Per-slot enqueue metadata for the kernel profiler. */
+    struct ProfMeta
+    {
+        Cycles enqueuedAt = 0;
+        TapId label;
     };
 
     static constexpr std::size_t heapArity = 4;
@@ -225,11 +267,15 @@ class EventQueue
     std::vector<std::unique_ptr<Slot[]>> chunks;
     std::size_t slotCount = 0;
     std::vector<std::uint32_t> freeSlots; ///< LIFO free slot stack
+    /** Enqueue time + label per slot, maintained only while a
+     *  profiler is attached (empty and never touched otherwise). */
+    std::vector<ProfMeta> profMeta;
     std::vector<HeapEntry> heap;          ///< 4-ary implicit min-heap
     std::size_t liveCount = 0;            ///< pending minus cancelled
     std::size_t deadCount = 0;            ///< cancelled entries in heap
     Cycles _now = 0;
     std::uint64_t nextSeq = 0;
+    EventKernelProfiler *profiler = nullptr;
 };
 
 } // namespace virtsim

@@ -1,0 +1,468 @@
+#include "sim/probe.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <unordered_map>
+
+#include "sim/log.hh"
+
+namespace virtsim {
+
+namespace {
+
+/** Global tap intern table. Guarded by a mutex so parallel sweep
+ *  workers can intern concurrently; the hot stamping path never
+ *  comes here. */
+struct InternTable
+{
+    std::mutex mu;
+    std::unordered_map<std::string, std::uint32_t> ids;
+    std::deque<std::string> names; ///< stable element addresses
+
+    InternTable() { names.push_back("?"); }
+};
+
+InternTable &
+internTable()
+{
+    static InternTable table;
+    return table;
+}
+
+/** Format cycles as microseconds with fixed sub-ns precision, so
+ *  exported JSON is byte-stable. */
+std::string
+formatUs(double us)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.4f", us);
+    return buf;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+TapId
+internTap(std::string_view name)
+{
+    VIRTSIM_ASSERT(!name.empty(), "interning an empty tap name");
+    InternTable &t = internTable();
+    std::lock_guard<std::mutex> lock(t.mu);
+    std::string key(name);
+    auto it = t.ids.find(key);
+    if (it != t.ids.end())
+        return TapId(it->second);
+    const auto id = static_cast<std::uint32_t>(t.names.size());
+    t.names.push_back(key);
+    t.ids.emplace(std::move(key), id);
+    return TapId(id);
+}
+
+std::string
+tapName(TapId tap)
+{
+    InternTable &t = internTable();
+    std::lock_guard<std::mutex> lock(t.mu);
+    if (tap.raw() >= t.names.size())
+        return "?";
+    return t.names[tap.raw()];
+}
+
+std::size_t
+internedTapCount()
+{
+    InternTable &t = internTable();
+    std::lock_guard<std::mutex> lock(t.mu);
+    return t.names.size() - 1;
+}
+
+const char *
+to_string(TraceCat cat)
+{
+    switch (cat) {
+      case TraceCat::Tap:
+        return "tap";
+      case TraceCat::Switch:
+        return "switch";
+      case TraceCat::Irq:
+        return "irq";
+      case TraceCat::Io:
+        return "io";
+      case TraceCat::Sched:
+        return "sched";
+    }
+    return "?";
+}
+
+void
+TraceSink::setCapacity(std::size_t records)
+{
+    std::size_t n = 1;
+    while (n < records)
+        n <<= 1;
+    // Uninitialized on purpose: slots are write-before-read, and a
+    // zero-fill here would fault in every page of a ring most runs
+    // only partially use.
+    ring = std::make_unique_for_overwrite<TraceRecord[]>(n);
+    cap = n;
+    head = 0;
+    _total = 0;
+}
+
+std::optional<Cycles>
+TraceSink::find(std::uint64_t flow, TapId tap) const
+{
+    const std::size_t n = size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const TraceRecord &r = at(i);
+        if (r.kind == TraceKind::Instant && r.cat == TraceCat::Tap &&
+            r.tap == tap && r.arg == flow) {
+            return r.when;
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<Cycles>
+TraceSink::between(std::uint64_t flow, TapId from, TapId to) const
+{
+    const std::size_t n = size();
+    std::optional<Cycles> t0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const TraceRecord &r = at(i);
+        if (r.kind != TraceKind::Instant || r.cat != TraceCat::Tap ||
+            r.arg != flow) {
+            continue;
+        }
+        if (!t0) {
+            if (r.tap == from)
+                t0 = r.when;
+            continue;
+        }
+        // First `from` found: pair with the nearest following `to`.
+        if (r.tap == to && r.when >= *t0)
+            return r.when - *t0;
+    }
+    return std::nullopt;
+}
+
+void
+writeChromeTrace(std::ostream &os, const TraceSink &sink,
+                 const Frequency &freq, const std::string &process)
+{
+    os << "{\"traceEvents\":[\n";
+    os << "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
+          "\"args\":{\"name\":\"" << jsonEscape(process) << "\"}}";
+
+    // Name one thread track per physical CPU seen in the records.
+    std::vector<std::uint16_t> tracks;
+    sink.forEach([&tracks](const TraceRecord &r) {
+        if (std::find(tracks.begin(), tracks.end(), r.track) ==
+            tracks.end()) {
+            tracks.push_back(r.track);
+        }
+    });
+    std::sort(tracks.begin(), tracks.end());
+    for (std::uint16_t tr : tracks) {
+        os << ",\n{\"ph\":\"M\",\"pid\":0,\"tid\"" << ":" << tr
+           << ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+        if (tr == noTrack)
+            os << "global";
+        else
+            os << "cpu" << tr;
+        os << "\"}}";
+    }
+
+    sink.forEach([&os, &freq](const TraceRecord &r) {
+        const char *ph = r.kind == TraceKind::Begin ? "B"
+                         : r.kind == TraceKind::End ? "E"
+                                                    : "i";
+        os << ",\n{\"ph\":\"" << ph << "\",\"pid\":0,\"tid\":"
+           << r.track << ",\"ts\":" << formatUs(freq.us(r.when))
+           << ",\"name\":\"" << jsonEscape(tapName(r.tap))
+           << "\",\"cat\":\"" << to_string(r.cat) << "\"";
+        if (r.kind == TraceKind::Instant)
+            os << ",\"s\":\"t\",\"args\":{\"arg\":" << r.arg << "}";
+        os << "}";
+    });
+
+    os << "\n],\"otherData\":{\"recordCount\":" << sink.size()
+       << ",\"droppedRecords\":" << sink.dropped() << "}}\n";
+}
+
+bool
+exportChromeTrace(const std::string &path, const TraceSink &sink,
+                  const Frequency &freq, const std::string &process)
+{
+    std::ofstream os(path);
+    if (!os) {
+        warn("cannot open trace file ", path);
+        return false;
+    }
+    writeChromeTrace(os, sink, freq, process);
+    return true;
+}
+
+void
+MetricsDomain::reset()
+{
+    for (Counter &c : counters)
+        c.reset();
+    for (HistogramStat &h : hists)
+        h.reset();
+}
+
+MetricsRegistry::MetricsRegistry()
+    : _machine(std::make_unique<MetricsDomain>("machine"))
+{
+}
+
+MetricsDomain &
+MetricsRegistry::vm(const std::string &name)
+{
+    for (auto &[key, dom] : _vms) {
+        if (key == name)
+            return *dom;
+    }
+    _vms.emplace_back(name,
+                      std::make_unique<MetricsDomain>("vm:" + name));
+    return *_vms.back().second;
+}
+
+MetricsDomain &
+MetricsRegistry::cpu(int pcpu)
+{
+    VIRTSIM_ASSERT(pcpu >= 0, "bad pcpu ", pcpu);
+    const auto i = static_cast<std::size_t>(pcpu);
+    while (_cpus.size() <= i) {
+        _cpus.push_back(std::make_unique<MetricsDomain>(
+            "cpu:" + std::to_string(_cpus.size())));
+    }
+    return *_cpus[i];
+}
+
+void
+MetricsRegistry::reset()
+{
+    _machine->reset();
+    for (auto &[key, dom] : _vms)
+        dom->reset();
+    for (auto &dom : _cpus)
+        dom->reset();
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot snap;
+    auto collect = [&snap](const MetricsDomain &dom) {
+        dom.forEachCounter([&snap, &dom](TapId tap,
+                                         std::uint64_t value) {
+            snap.counters.push_back(
+                {dom.name(), tapName(tap), value});
+        });
+        dom.forEachHistogram([&snap, &dom](TapId tap,
+                                           const HistogramStat &h) {
+            MetricsSnapshot::HistogramRow row;
+            row.domain = dom.name();
+            row.name = tapName(tap);
+            row.count = h.count();
+            if (h.count() > 0) {
+                row.min = h.min();
+                row.max = h.max();
+                row.mean = h.mean();
+            }
+            snap.histograms.push_back(std::move(row));
+        });
+    };
+    collect(*_machine);
+    for (const auto &[key, dom] : _vms)
+        collect(*dom);
+    for (const auto &dom : _cpus)
+        collect(*dom);
+
+    // Sort by name, not tap id: interning order differs between runs
+    // under parallel sweeps, names do not.
+    auto byName = [](const auto &a, const auto &b) {
+        if (a.domain != b.domain)
+            return a.domain < b.domain;
+        return a.name < b.name;
+    };
+    std::sort(snap.counters.begin(), snap.counters.end(), byName);
+    std::sort(snap.histograms.begin(), snap.histograms.end(), byName);
+    return snap;
+}
+
+std::string
+MetricsSnapshot::render() const
+{
+    std::string out;
+    for (const CounterRow &r : counters) {
+        out += r.domain + "/" + r.name + " = " +
+               std::to_string(r.value) + "\n";
+    }
+    for (const HistogramRow &r : histograms) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.1f", r.mean);
+        out += r.domain + "/" + r.name + " : n=" +
+               std::to_string(r.count) + " min=" +
+               std::to_string(r.min) + " mean=" + buf +
+               " max=" + std::to_string(r.max) + "\n";
+    }
+    return out;
+}
+
+std::string
+MetricsSnapshot::brief() const
+{
+    // The acceptance digest: traps, world switches and virtual IRQs
+    // per VM domain, one line per VM.
+    struct Digest
+    {
+        std::uint64_t traps = 0;
+        std::uint64_t switches = 0;
+        std::uint64_t virqs = 0;
+    };
+    std::vector<std::pair<std::string, Digest>> vms;
+    auto digestOf = [&vms](const std::string &domain) -> Digest & {
+        for (auto &[name, d] : vms) {
+            if (name == domain)
+                return d;
+        }
+        vms.emplace_back(domain, Digest{});
+        return vms.back().second;
+    };
+    for (const CounterRow &r : counters) {
+        if (r.domain.rfind("vm:", 0) != 0)
+            continue;
+        Digest &d = digestOf(r.domain);
+        if (r.name.find(".trap.") != std::string::npos)
+            d.traps += r.value;
+        else if (r.name.find("world_switch") != std::string::npos)
+            d.switches += r.value;
+        else if (r.name.find("virq") != std::string::npos)
+            d.virqs += r.value;
+    }
+    // Trap costs are recorded as per-reason histograms; their sample
+    // counts are the trap counts.
+    for (const HistogramRow &r : histograms) {
+        if (r.domain.rfind("vm:", 0) != 0)
+            continue;
+        if (r.name.find(".trap.") != std::string::npos)
+            digestOf(r.domain).traps += r.count;
+    }
+    std::string out;
+    for (const auto &[name, d] : vms) {
+        out += name + ": traps=" + std::to_string(d.traps) +
+               " world_switches=" + std::to_string(d.switches) +
+               " virqs=" + std::to_string(d.virqs) + "\n";
+    }
+    if (out.empty())
+        out = "(no VM metrics)\n";
+    return out;
+}
+
+std::string
+MetricsSnapshot::toJson() const
+{
+    std::string out = "{\"counters\":[";
+    bool first = true;
+    for (const CounterRow &r : counters) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "{\"domain\":\"" + jsonEscape(r.domain) +
+               "\",\"name\":\"" + jsonEscape(r.name) +
+               "\",\"value\":" + std::to_string(r.value) + "}";
+    }
+    out += "],\"histograms\":[";
+    first = true;
+    for (const HistogramRow &r : histograms) {
+        if (!first)
+            out += ",";
+        first = false;
+        char mean[64];
+        std::snprintf(mean, sizeof(mean), "%.4f", r.mean);
+        out += "{\"domain\":\"" + jsonEscape(r.domain) +
+               "\",\"name\":\"" + jsonEscape(r.name) +
+               "\",\"count\":" + std::to_string(r.count) +
+               ",\"min\":" + std::to_string(r.min) +
+               ",\"max\":" + std::to_string(r.max) +
+               ",\"mean\":" + mean + "}";
+    }
+    out += "]}";
+    return out;
+}
+
+const HistogramStat *
+EventKernelProfiler::histogram(TapId label) const
+{
+    const std::size_t i = label.raw();
+    if (i >= hists.size() || hists[i].count() == 0)
+        return nullptr;
+    return &hists[i];
+}
+
+std::string
+EventKernelProfiler::render() const
+{
+    std::vector<std::pair<std::string, const HistogramStat *>> rows;
+    for (std::size_t i = 0; i < hists.size(); ++i) {
+        if (hists[i].count() == 0)
+            continue;
+        const TapId tap = TapId::fromRaw(static_cast<std::uint32_t>(i));
+        rows.emplace_back(tap.valid() ? tapName(tap) : "(unlabeled)",
+                          &hists[i]);
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    std::string out;
+    for (const auto &[name, h] : rows) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.1f", h->mean());
+        out += name + " : n=" + std::to_string(h->count()) +
+               " min=" + std::to_string(h->min()) + " mean=" + buf +
+               " max=" + std::to_string(h->max()) + "\n";
+    }
+    return out;
+}
+
+} // namespace virtsim

@@ -1,0 +1,525 @@
+/**
+ * @file
+ * Structured observability: interned trace taps, a fixed-capacity
+ * ring-buffer trace sink with span events, a hierarchical metrics
+ * registry, and an event-kernel dispatch profiler.
+ *
+ * This subsystem replaces the old string-keyed Tracer and is the
+ * simulator's substitute for the paper's measurement apparatus:
+ * instrumented tcpdump with synchronized ARM architected counters
+ * (Table V), the world-switch instrumentation behind Table III, and
+ * the per-operation cycle accounting of Table II. Three design rules
+ * keep it safe in the hot paths PR 1 optimized:
+ *
+ *  - Tap names are interned once into small integer TapIds; stamping
+ *    a record is a branch plus two stores into a preallocated ring —
+ *    no allocation, no string compare.
+ *  - The ring has fixed capacity and overwrites the oldest records
+ *    when full; overwritten records are *counted* (dropped()), never
+ *    silently lost.
+ *  - Metrics counters are plain array slots indexed by TapId;
+ *    snapshots are sorted by name so output is deterministic even
+ *    when taps were interned from parallel sweep workers in
+ *    nondeterministic order.
+ *
+ * Traces export in the Chrome trace-event JSON format, loadable in
+ * ui.perfetto.dev, with one timeline track per physical CPU.
+ */
+
+#ifndef VIRTSIM_SIM_PROBE_HH
+#define VIRTSIM_SIM_PROBE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+#include "sim/units.hh"
+
+namespace virtsim {
+
+/**
+ * Interned identifier of a trace tap (a named instrumentation point
+ * such as "host.datalink.rx" or "kvm.exit"). Value 0 never names a
+ * tap. Intern once (at static-init time or on first use) and stamp
+ * with the id; the hot path never touches the intern table.
+ */
+class TapId
+{
+  public:
+    constexpr TapId() = default;
+
+    constexpr bool valid() const { return idx != 0; }
+    constexpr std::uint32_t raw() const { return idx; }
+
+    /** Rebuild an id from raw() — for containers indexed by raw id
+     *  (MetricsDomain, EventKernelProfiler), not for minting ids. */
+    static constexpr TapId
+    fromRaw(std::uint32_t raw)
+    {
+        return TapId(raw);
+    }
+
+    friend constexpr bool operator==(TapId a, TapId b) = default;
+
+  private:
+    friend TapId internTap(std::string_view name);
+    explicit constexpr TapId(std::uint32_t i) : idx(i) {}
+
+    std::uint32_t idx = 0;
+};
+
+/**
+ * Intern a tap name, thread-safely. Idempotent: the same name always
+ * returns the same id. Ids are assigned in interning order, which may
+ * differ between runs under parallel sweeps — consumers must key
+ * persistent output by *name* (MetricsRegistry::snapshot does).
+ */
+TapId internTap(std::string_view name);
+
+/** Name of an interned tap ("?" for the invalid id). */
+std::string tapName(TapId tap);
+
+/** Number of interned taps (invalid id excluded). */
+std::size_t internedTapCount();
+
+/** Record shape: a point event or one end of a span. */
+enum class TraceKind : std::uint8_t
+{
+    Instant,
+    Begin,
+    End,
+};
+
+/** Coarse category of a trace record (Perfetto "cat" field). */
+enum class TraceCat : std::uint8_t
+{
+    Tap,    ///< Table V style packet timestamp tap
+    Switch, ///< world switch / trap / hypercall legs
+    Irq,    ///< interrupt delivery and list-register maintenance
+    Io,     ///< virtio / grant-table / event-channel I/O
+    Sched,  ///< event-kernel scheduling
+};
+
+const char *to_string(TraceCat cat);
+
+/** Track id for records not tied to a physical CPU. */
+inline constexpr std::uint16_t noTrack = 0xffff;
+
+/** One trace record. 24 bytes, POD. */
+struct TraceRecord
+{
+    Cycles when;       ///< simulated time in cycles
+    std::uint64_t arg; ///< flow id, cycle cost, irq number, ...
+    TapId tap;
+    std::uint16_t track; ///< physical CPU, or noTrack
+    TraceKind kind;
+    TraceCat cat;
+};
+
+static_assert(sizeof(TraceRecord) == 24, "TraceRecord grew");
+
+/**
+ * Fixed-capacity ring buffer of trace records. Disabled by default:
+ * every stamping call is then a single predictable branch. When the
+ * ring is full the oldest records are overwritten and counted in
+ * dropped() — overflow is never silent (the exporter and reports
+ * surface the count).
+ */
+class TraceSink
+{
+  public:
+    static constexpr std::size_t defaultCapacity = 1u << 15;
+
+    /** Start recording (allocates the ring on first use). */
+    void
+    enable()
+    {
+        if (cap == 0)
+            setCapacity(defaultCapacity);
+        _enabled = true;
+    }
+
+    void disable() { _enabled = false; }
+    bool enabled() const { return _enabled; }
+
+    /**
+     * Resize the ring (rounded up to a power of two) and drop all
+     * records. Call before enabling, or between runs.
+     */
+    void setCapacity(std::size_t records);
+
+    std::size_t capacity() const { return cap; }
+
+    /** Drop all records and the dropped count; capacity and the
+     *  enabled flag are retained. */
+    void
+    clear()
+    {
+        head = 0;
+        _total = 0;
+    }
+
+    /** Records currently retained. */
+    std::size_t
+    size() const
+    {
+        return _total < cap ? static_cast<std::size_t>(_total) : cap;
+    }
+
+    /** Records ever written (retained + dropped). */
+    std::uint64_t total() const { return _total; }
+
+    /** Records overwritten because the ring wrapped. */
+    std::uint64_t
+    dropped() const
+    {
+        return _total > cap ? _total - cap : 0;
+    }
+
+    /** @name Stamping (hot path: branch + stores, no allocation) */
+    ///@{
+    /** Table V style tap: a named timestamp bound to a flow id. */
+    void
+    stamp(Cycles when, std::uint64_t flow, TapId tap,
+          std::uint16_t track = noTrack)
+    {
+        if (!_enabled)
+            return;
+        push(TraceRecord{when, flow, tap, track, TraceKind::Instant,
+                         TraceCat::Tap});
+    }
+
+    /** A categorized point event. */
+    void
+    instant(Cycles when, TapId tap, TraceCat cat,
+            std::uint16_t track = noTrack, std::uint64_t arg = 0)
+    {
+        if (!_enabled)
+            return;
+        push(TraceRecord{when, arg, tap, track, TraceKind::Instant,
+                         cat});
+    }
+
+    /** Open a span on a track. Must be matched by end() with the
+     *  same tap and track. */
+    void
+    begin(Cycles when, TapId tap, TraceCat cat,
+          std::uint16_t track = noTrack, std::uint64_t arg = 0)
+    {
+        if (!_enabled)
+            return;
+        push(TraceRecord{when, arg, tap, track, TraceKind::Begin, cat});
+    }
+
+    /** Close the innermost open span with this tap on this track. */
+    void
+    end(Cycles when, TapId tap, TraceCat cat,
+        std::uint16_t track = noTrack, std::uint64_t arg = 0)
+    {
+        if (!_enabled)
+            return;
+        push(TraceRecord{when, arg, tap, track, TraceKind::End, cat});
+    }
+
+    /** Emit a complete [t0, t1] span in one call. */
+    void
+    span(Cycles t0, Cycles t1, TapId tap, TraceCat cat,
+         std::uint16_t track = noTrack, std::uint64_t arg = 0)
+    {
+        if (!_enabled)
+            return;
+        push(TraceRecord{t0, arg, tap, track, TraceKind::Begin, cat});
+        push(TraceRecord{t1, arg, tap, track, TraceKind::End, cat});
+    }
+    ///@}
+
+    /** @name Analysis */
+    ///@{
+    /** i-th retained record in write order, i in [0, size()). */
+    const TraceRecord &
+    at(std::size_t i) const
+    {
+        if (_total <= cap)
+            return ring[i];
+        return ring[(head + i) & (cap - 1)];
+    }
+
+    /** Visit retained records in write order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        const std::size_t n = size();
+        for (std::size_t i = 0; i < n; ++i)
+            fn(at(i));
+    }
+
+    /** Visit only records written at or after a total() watermark
+     *  taken earlier (records before it may have been dropped). */
+    template <typename Fn>
+    void
+    forEachSince(std::uint64_t mark, Fn &&fn) const
+    {
+        const std::uint64_t first = _total - size();
+        const std::uint64_t from = mark > first ? mark : first;
+        for (std::uint64_t i = from; i < _total; ++i)
+            fn(at(static_cast<std::size_t>(i - first)));
+    }
+
+    /** First tap stamp of the given flow, if retained. */
+    std::optional<Cycles> find(std::uint64_t flow, TapId tap) const;
+
+    /**
+     * Duration between two tap stamps of the same flow: the first
+     * `from` stamp paired with the nearest *following* `to` stamp.
+     * Repeated stamps of the same flow (retries, multi-packet
+     * transactions) therefore pair up causally instead of matching a
+     * stale earlier `to`.
+     * @return nullopt if either stamp is missing.
+     */
+    std::optional<Cycles> between(std::uint64_t flow, TapId from,
+                                  TapId to) const;
+    ///@}
+
+  private:
+    void
+    push(const TraceRecord &r)
+    {
+        ring[head] = r;
+        head = (head + 1) & (cap - 1);
+        ++_total;
+    }
+
+    /** Ring storage, allocated uninitialized: slots beyond size()
+     *  are never read, and skipping the zero-fill keeps per-run
+     *  setup from faulting in pages the run never touches. */
+    std::unique_ptr<TraceRecord[]> ring;
+    std::size_t cap = 0;     ///< ring capacity, power of two
+    std::size_t head = 0;    ///< next write position
+    std::uint64_t _total = 0; ///< records ever written
+    bool _enabled = false;
+};
+
+/**
+ * Serialize a sink as Chrome trace-event JSON ("traceEvents" array),
+ * loadable in ui.perfetto.dev / chrome://tracing. Each track becomes
+ * a thread named "cpu<N>"; timestamps convert to microseconds at the
+ * machine frequency. Dropped records are reported in the metadata.
+ */
+void writeChromeTrace(std::ostream &os, const TraceSink &sink,
+                      const Frequency &freq,
+                      const std::string &process = "virtsim");
+
+/** writeChromeTrace to a file. @return false if the file failed to
+ *  open (the failure is also logged). */
+bool exportChromeTrace(const std::string &path, const TraceSink &sink,
+                       const Frequency &freq,
+                       const std::string &process = "virtsim");
+
+/**
+ * One level of the metrics hierarchy (machine, one VM, or one CPU):
+ * counters and bounded-memory cycle histograms keyed by TapId.
+ * Lookup is an array index off the tap id — cheap enough to leave on
+ * unconditionally in hypervisor paths.
+ */
+class MetricsDomain
+{
+  public:
+    explicit MetricsDomain(std::string name) : _name(std::move(name)) {}
+
+    const std::string &name() const { return _name; }
+
+    Counter &
+    counter(TapId tap)
+    {
+        const std::size_t i = tap.raw();
+        if (i >= counters.size())
+            counters.resize(i + 1);
+        used.resize(counters.size());
+        used[i] = 1;
+        return counters[i];
+    }
+
+    HistogramStat &
+    histogram(TapId tap)
+    {
+        const std::size_t i = tap.raw();
+        if (i >= hists.size())
+            hists.resize(i + 1);
+        histUsed.resize(hists.size());
+        histUsed[i] = 1;
+        return hists[i];
+    }
+
+    /** Zero every counter and histogram; registered taps stay
+     *  registered so reruns report the same rows. */
+    void reset();
+
+    /** Visit used counters as (tap, value). */
+    template <typename Fn>
+    void
+    forEachCounter(Fn &&fn) const
+    {
+        for (std::size_t i = 0; i < counters.size(); ++i) {
+            if (used[i]) {
+                fn(TapId::fromRaw(static_cast<std::uint32_t>(i)),
+                   counters[i].value());
+            }
+        }
+    }
+
+    /** Visit used histograms as (tap, stat). */
+    template <typename Fn>
+    void
+    forEachHistogram(Fn &&fn) const
+    {
+        for (std::size_t i = 0; i < hists.size(); ++i) {
+            if (histUsed[i]) {
+                fn(TapId::fromRaw(static_cast<std::uint32_t>(i)),
+                   hists[i]);
+            }
+        }
+    }
+
+  private:
+    std::string _name;
+    std::vector<Counter> counters;
+    std::vector<std::uint8_t> used;
+    std::vector<HistogramStat> hists;
+    std::vector<std::uint8_t> histUsed;
+};
+
+/** Deterministic, name-sorted snapshot of a MetricsRegistry. */
+struct MetricsSnapshot
+{
+    struct CounterRow
+    {
+        std::string domain;
+        std::string name;
+        std::uint64_t value = 0;
+
+        friend bool operator==(const CounterRow &,
+                               const CounterRow &) = default;
+    };
+
+    struct HistogramRow
+    {
+        std::string domain;
+        std::string name;
+        std::uint64_t count = 0;
+        std::uint64_t min = 0;
+        std::uint64_t max = 0;
+        double mean = 0.0;
+
+        friend bool operator==(const HistogramRow &,
+                               const HistogramRow &) = default;
+    };
+
+    std::vector<CounterRow> counters;   ///< sorted by (domain, name)
+    std::vector<HistogramRow> histograms;
+
+    friend bool operator==(const MetricsSnapshot &,
+                           const MetricsSnapshot &) = default;
+
+    /** All rows, one per line ("domain/name = value"). */
+    std::string render() const;
+
+    /** Compact per-VM digest for bench reports: traps, world
+     *  switches, and virtual IRQs per VM domain. */
+    std::string brief() const;
+
+    /** JSON object {"counters": [...], "histograms": [...]}. */
+    std::string toJson() const;
+};
+
+/**
+ * Hierarchical metrics: one machine domain, one domain per VM and per
+ * physical CPU. Domains are created on first use and never move.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry();
+
+    MetricsDomain &machine() { return *_machine; }
+
+    /** Per-VM domain, keyed by VM name (rendered as "vm:<name>"). */
+    MetricsDomain &vm(const std::string &name);
+
+    /** Per-physical-CPU domain (rendered as "cpu:<N>"). */
+    MetricsDomain &cpu(int pcpu);
+
+    /** Zero all counters and histograms in every domain. */
+    void reset();
+
+    MetricsSnapshot snapshot() const;
+
+  private:
+    // Domains are held by pointer so references handed out by
+    // vm()/cpu() stay valid as the maps grow.
+    std::unique_ptr<MetricsDomain> _machine;
+    std::vector<std::pair<std::string, std::unique_ptr<MetricsDomain>>>
+        _vms;
+    std::vector<std::unique_ptr<MetricsDomain>> _cpus;
+};
+
+/**
+ * Event-kernel dispatch profiler: per-label histograms of the latency
+ * between an event's scheduling time and the simulated time it fired
+ * (how far ahead work is scheduled — the shape of the event kernel's
+ * workload). Installed into an EventQueue via setProfiler(); when not
+ * installed the kernel pays one predictable branch per event.
+ */
+class EventKernelProfiler
+{
+  public:
+    void
+    record(TapId label, Cycles wait)
+    {
+        const std::size_t i = label.raw();
+        if (i >= hists.size())
+            hists.resize(i + 1);
+        hists[i].add(wait);
+    }
+
+    /** Histogram for a label, or null if never recorded. */
+    const HistogramStat *histogram(TapId label) const;
+
+    void reset() { hists.clear(); }
+
+    /** One line per label, sorted by name; the invalid label renders
+     *  as "(unlabeled)". */
+    std::string render() const;
+
+  private:
+    std::vector<HistogramStat> hists; ///< indexed by raw tap id
+};
+
+/**
+ * The observability bundle a Machine owns: trace sink + metrics +
+ * event-kernel profiler, reset together between workload runs.
+ */
+struct Probe
+{
+    TraceSink trace;
+    MetricsRegistry metrics;
+    EventKernelProfiler profiler;
+
+    void
+    reset()
+    {
+        trace.clear();
+        metrics.reset();
+        profiler.reset();
+    }
+};
+
+} // namespace virtsim
+
+#endif // VIRTSIM_SIM_PROBE_HH

@@ -85,6 +85,28 @@ SampleStat::ensureSorted() const
     sortedValid = true;
 }
 
+void
+HistogramStat::reset()
+{
+    buckets.fill(0);
+    _count = 0;
+    _sum = 0;
+    _min = UINT64_MAX;
+    _max = 0;
+}
+
+std::string
+HistogramStat::render() const
+{
+    std::ostringstream oss;
+    oss << "n=" << _count;
+    if (_count > 0) {
+        oss << " min=" << _min << " mean=" << mean()
+            << " max=" << _max;
+    }
+    return oss.str();
+}
+
 std::uint64_t
 StatRegistry::counterValue(const std::string &name) const
 {

@@ -14,6 +14,8 @@
 #define VIRTSIM_SIM_STATS_HH
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -76,6 +78,76 @@ class SampleStat
     mutable std::vector<double> sorted;
     mutable bool sortedValid = false;
     double _sum = 0.0;
+};
+
+/**
+ * Bounded-memory cycle histogram: 64 log2 buckets plus exact min, max,
+ * count and sum. Unlike SampleStat it never grows with the number of
+ * samples, so it is safe to leave attached to per-trap-reason metrics
+ * over arbitrarily long sweeps.
+ */
+class HistogramStat
+{
+  public:
+    static constexpr std::size_t numBuckets = 64;
+
+    void
+    add(std::uint64_t sample)
+    {
+        ++buckets[bucketOf(sample)];
+        ++_count;
+        _sum += sample;
+        _min = std::min(_min, sample);
+        _max = std::max(_max, sample);
+    }
+
+    std::uint64_t count() const { return _count; }
+    bool empty() const { return _count == 0; }
+
+    /** Smallest sample (exact). @pre !empty() */
+    std::uint64_t min() const { return _min; }
+
+    /** Largest sample (exact). @pre !empty() */
+    std::uint64_t max() const { return _max; }
+
+    /** Sum of all samples (exact). */
+    std::uint64_t sum() const { return _sum; }
+
+    /** Arithmetic mean (exact). Returns 0 when empty. */
+    double
+    mean() const
+    {
+        return _count == 0
+                   ? 0.0
+                   : static_cast<double>(_sum) /
+                         static_cast<double>(_count);
+    }
+
+    /** Samples in bucket i, which covers [2^(i-1), 2^i - 1] (bucket 0
+     *  holds exactly the value 0). */
+    std::uint64_t bucketCount(std::size_t i) const
+    {
+        return buckets[i];
+    }
+
+    /** Bucket index a sample lands in: bit width of the value. */
+    static constexpr std::size_t
+    bucketOf(std::uint64_t sample)
+    {
+        return static_cast<std::size_t>(std::bit_width(sample));
+    }
+
+    void reset();
+
+    /** One-line summary: n/min/mean/max. */
+    std::string render() const;
+
+  private:
+    std::array<std::uint64_t, numBuckets + 1> buckets{};
+    std::uint64_t _count = 0;
+    std::uint64_t _sum = 0;
+    std::uint64_t _min = UINT64_MAX;
+    std::uint64_t _max = 0;
 };
 
 /**

@@ -11,7 +11,7 @@
 #include "os/netback.hh"
 #include "os/netstack.hh"
 #include "os/vhost.hh"
-#include "sim/trace.hh"
+#include "sim/probe.hh"
 
 using namespace virtsim;
 
@@ -169,21 +169,40 @@ TEST_F(BackendFixture, NetbackTxChargesDom0AndEmitsFrame)
     EXPECT_GT(m.cpu(np.dom0Pcpu).busyCycles(), 0u);
 }
 
-TEST(Tracer, StampsAndIntervals)
+TEST(TraceSink, StampsAndIntervals)
 {
-    Tracer tr;
-    tr.stamp(10, 1, "a"); // disabled: dropped
-    tr.enable();
-    tr.stamp(100, 1, "recv");
-    tr.stamp(150, 1, "send");
-    tr.stamp(120, 2, "recv");
-    EXPECT_EQ(tr.all().size(), 3u);
-    EXPECT_EQ(tr.find(1, "recv").value(), 100u);
-    EXPECT_EQ(tr.between(1, "recv", "send").value(), 50u);
-    EXPECT_FALSE(tr.between(1, "send", "recv").has_value());
-    EXPECT_FALSE(tr.find(3, "recv").has_value());
-    tr.clear();
-    EXPECT_TRUE(tr.all().empty());
+    const TapId recv = internTap("test.recv");
+    const TapId send = internTap("test.send");
+    TraceSink sink;
+    sink.stamp(10, 1, recv); // disabled: dropped
+    sink.enable();
+    sink.stamp(100, 1, recv);
+    sink.stamp(150, 1, send);
+    sink.stamp(120, 2, recv);
+    EXPECT_EQ(sink.size(), 3u);
+    EXPECT_EQ(sink.find(1, recv).value(), 100u);
+    EXPECT_EQ(sink.between(1, recv, send).value(), 50u);
+    EXPECT_FALSE(sink.between(1, send, recv).has_value());
+    EXPECT_FALSE(sink.find(3, recv).has_value());
+    sink.clear();
+    EXPECT_EQ(sink.size(), 0u);
+}
+
+TEST(TraceSink, BetweenPairsNearestFollowingStamp)
+{
+    // Regression: a retried transaction stamps the same taps twice.
+    // `between` must pair the first `from` with the nearest
+    // *following* `to`, not a stale earlier one or the global first.
+    const TapId from = internTap("test.pair.from");
+    const TapId to = internTap("test.pair.to");
+    TraceSink sink;
+    sink.enable();
+    sink.stamp(50, 7, to);    // stale `to` before any `from`
+    sink.stamp(100, 7, from);
+    sink.stamp(130, 7, to);   // the causal partner
+    sink.stamp(200, 7, from); // retry pair, must be ignored
+    sink.stamp(260, 7, to);
+    EXPECT_EQ(sink.between(7, from, to).value(), 30u);
 }
 
 TEST(Report, TextTableAlignsAndCounts)

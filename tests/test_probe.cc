@@ -1,0 +1,456 @@
+/**
+ * @file
+ * Tests for the structured observability subsystem (sim/probe):
+ * tap interning, the ring-buffer trace sink, Chrome-trace/Perfetto
+ * export, the metrics registry, and the event-kernel profiler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "core/microbench.hh"
+#include "core/netperf.hh"
+#include "core/testbed.hh"
+#include "sim/probe.hh"
+#include "sim/sweep.hh"
+
+using namespace virtsim;
+
+namespace {
+
+/**
+ * Minimal JSON well-formedness checker (structure only, no schema):
+ * enough to prove the exporter emits something a real parser — and
+ * ui.perfetto.dev — will accept.
+ */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : s(text) {}
+
+    bool
+    valid()
+    {
+        pos = 0;
+        const bool ok = value();
+        skipWs();
+        return ok && pos == s.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        skipWs();
+        if (pos >= s.size())
+            return false;
+        switch (s[pos]) {
+          case '{':
+            return object();
+          case '[':
+            return array();
+          case '"':
+            return string();
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos; // '{'
+        skipWs();
+        if (pos < s.size() && s[pos] == '}') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (pos >= s.size() || s[pos] != ':')
+                return false;
+            ++pos;
+            if (!value())
+                return false;
+            skipWs();
+            if (pos < s.size() && s[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            break;
+        }
+        if (pos >= s.size() || s[pos] != '}')
+            return false;
+        ++pos;
+        return true;
+    }
+
+    bool
+    array()
+    {
+        ++pos; // '['
+        skipWs();
+        if (pos < s.size() && s[pos] == ']') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            if (!value())
+                return false;
+            skipWs();
+            if (pos < s.size() && s[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            break;
+        }
+        if (pos >= s.size() || s[pos] != ']')
+            return false;
+        ++pos;
+        return true;
+    }
+
+    bool
+    string()
+    {
+        if (pos >= s.size() || s[pos] != '"')
+            return false;
+        ++pos;
+        while (pos < s.size() && s[pos] != '"') {
+            if (s[pos] == '\\') {
+                ++pos;
+                if (pos >= s.size())
+                    return false;
+            }
+            ++pos;
+        }
+        if (pos >= s.size())
+            return false;
+        ++pos; // closing quote
+        return true;
+    }
+
+    bool
+    number()
+    {
+        const std::size_t start = pos;
+        if (pos < s.size() && (s[pos] == '-' || s[pos] == '+'))
+            ++pos;
+        while (pos < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[pos])) ||
+                s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E' ||
+                s[pos] == '-' || s[pos] == '+')) {
+            ++pos;
+        }
+        return pos > start;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::string(word).size();
+        if (s.compare(pos, n, word) != 0)
+            return false;
+        pos += n;
+        return true;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[pos]))) {
+            ++pos;
+        }
+    }
+
+    std::string s;
+    std::size_t pos = 0;
+};
+
+} // namespace
+
+TEST(TapIntern, IdempotentAndUnique)
+{
+    const TapId a = internTap("probe.test.alpha");
+    const TapId b = internTap("probe.test.beta");
+    EXPECT_TRUE(a.valid());
+    EXPECT_TRUE(b.valid());
+    EXPECT_NE(a.raw(), b.raw());
+    // Idempotent: same name, same id.
+    EXPECT_EQ(internTap("probe.test.alpha"), a);
+    EXPECT_EQ(tapName(a), "probe.test.alpha");
+    EXPECT_EQ(tapName(TapId()), "?");
+    EXPECT_GE(internedTapCount(), 2u);
+}
+
+TEST(TraceSink, RingWrapIsCountedNeverSilent)
+{
+    const TapId tap = internTap("probe.test.wrap");
+    TraceSink sink;
+    sink.setCapacity(3); // rounds up to 4
+    EXPECT_EQ(sink.capacity(), 4u);
+    sink.enable();
+    for (Cycles t = 0; t < 10; ++t)
+        sink.instant(t, tap, TraceCat::Sched, noTrack, t);
+    EXPECT_EQ(sink.total(), 10u);
+    EXPECT_EQ(sink.size(), 4u);
+    EXPECT_EQ(sink.dropped(), 6u);
+    // The oldest retained record is the 7th written (when == 6).
+    EXPECT_EQ(sink.at(0).when, 6u);
+    EXPECT_EQ(sink.at(3).when, 9u);
+
+    // The exporter surfaces the loss in the metadata.
+    std::ostringstream os;
+    writeChromeTrace(os, sink, Frequency(2.4));
+    EXPECT_NE(os.str().find("\"droppedRecords\":6"),
+              std::string::npos);
+
+    // forEachSince respects a watermark and skips dropped records.
+    std::vector<Cycles> seen;
+    sink.forEachSince(8, [&seen](const TraceRecord &r) {
+        seen.push_back(r.when);
+    });
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0], 8u);
+    EXPECT_EQ(seen[1], 9u);
+}
+
+TEST(TraceSink, NestedSpansPairLikeAStack)
+{
+    const TapId outer = internTap("probe.test.outer");
+    const TapId inner = internTap("probe.test.inner");
+    TraceSink sink;
+    sink.enable();
+    sink.begin(100, outer, TraceCat::Switch, 0);
+    sink.begin(110, inner, TraceCat::Switch, 0);
+    sink.end(140, inner, TraceCat::Switch, 0);
+    sink.end(200, outer, TraceCat::Switch, 0);
+    sink.span(300, 320, inner, TraceCat::Switch, 1);
+
+    // Replay with a per-track stack: every End must close the
+    // innermost open Begin with the same tap, and nothing stays open.
+    std::vector<std::vector<TapId>> stacks(2);
+    int pairs = 0;
+    sink.forEach([&](const TraceRecord &r) {
+        auto &st = stacks[r.track];
+        if (r.kind == TraceKind::Begin) {
+            st.push_back(r.tap);
+        } else if (r.kind == TraceKind::End) {
+            ASSERT_FALSE(st.empty());
+            EXPECT_EQ(st.back(), r.tap);
+            st.pop_back();
+            ++pairs;
+        }
+    });
+    EXPECT_EQ(pairs, 3);
+    EXPECT_TRUE(stacks[0].empty());
+    EXPECT_TRUE(stacks[1].empty());
+}
+
+TEST(ChromeTrace, ExportIsWellFormedJson)
+{
+    const TapId tap = internTap("probe.test.export");
+    const TapId quoted = internTap("probe.test.\"quoted\\name");
+    TraceSink sink;
+    sink.enable();
+    sink.span(100, 260, tap, TraceCat::Switch, 0, 160);
+    sink.instant(300, quoted, TraceCat::Irq, 3, 27);
+    sink.stamp(400, 7, tap);
+
+    std::ostringstream os;
+    writeChromeTrace(os, sink, Frequency(2.4), "unit-test");
+    const std::string json = os.str();
+
+    JsonChecker checker(json);
+    EXPECT_TRUE(checker.valid()) << json;
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("thread_name"), std::string::npos);
+    EXPECT_NE(json.find("cpu0"), std::string::npos);
+    EXPECT_NE(json.find("unit-test"), std::string::npos);
+}
+
+TEST(Metrics, SnapshotIsDeterministicAcrossSweepWidths)
+{
+    // Under parallel sweeps, workers intern taps in nondeterministic
+    // order, so raw TapIds differ between runs. Snapshots are keyed
+    // and sorted by name and must come out byte-identical for any
+    // VIRTSIM_JOBS width.
+    const std::vector<SutKind> kinds = {
+        SutKind::KvmArm, SutKind::XenArm, SutKind::KvmX86,
+        SutKind::KvmArmVhe};
+    auto run_cols = [&kinds](int jobs) {
+        return parallelSweepIndexed(
+            kinds.size(),
+            [&kinds](std::size_t i) {
+                TestbedConfig tc;
+                tc.kind = kinds[i];
+                Testbed tb(tc);
+                MicrobenchSuite suite(tb);
+                suite.run(MicroOp::Hypercall, 10);
+                suite.run(MicroOp::VirtualIpi, 10);
+                return tb.metrics().snapshot();
+            },
+            jobs);
+    };
+    const auto serial = run_cols(1);
+    const auto parallel = run_cols(4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_FALSE(serial[i].counters.empty());
+        EXPECT_EQ(serial[i], parallel[i]) << "column " << i;
+    }
+}
+
+TEST(Metrics, ResetGivesIndependentSnapshotsAcrossReruns)
+{
+    // Two identical workloads back to back on one testbed must
+    // report identical, independent metrics — counters may not leak
+    // from the first run into the second.
+    Testbed tb(TestbedConfig{.kind = SutKind::KvmArm});
+    auto run_once = [&tb] {
+        tb.beginRun();
+        for (int i = 0; i < 5; ++i) {
+            const Cycles t0 =
+                std::max(tb.queue().now(), tb.frontier(0));
+            tb.hypervisor()->hypercall(t0, tb.guest()->vcpu(0),
+                                       [](Cycles) {});
+            tb.run();
+        }
+        return tb.metrics().snapshot();
+    };
+    const MetricsSnapshot first = run_once();
+    const MetricsSnapshot second = run_once();
+    EXPECT_FALSE(first.counters.empty());
+    EXPECT_EQ(first, second);
+    // The digest shows real activity, and the JSON form parses.
+    EXPECT_NE(first.brief().find("vm:vm0"), std::string::npos);
+    JsonChecker checker(first.toJson());
+    EXPECT_TRUE(checker.valid()) << first.toJson();
+}
+
+TEST(Metrics, DomainsAccumulateByTap)
+{
+    MetricsRegistry reg;
+    const TapId tap = internTap("probe.test.counter");
+    reg.machine().counter(tap).inc(3);
+    reg.vm("vmA").counter(tap).inc();
+    reg.cpu(2).histogram(tap).add(500);
+    const MetricsSnapshot snap = reg.snapshot();
+    bool saw_machine = false, saw_vm = false;
+    for (const auto &r : snap.counters) {
+        if (r.domain == "machine" && r.name == "probe.test.counter") {
+            EXPECT_EQ(r.value, 3u);
+            saw_machine = true;
+        }
+        if (r.domain == "vm:vmA" && r.name == "probe.test.counter") {
+            EXPECT_EQ(r.value, 1u);
+            saw_vm = true;
+        }
+    }
+    EXPECT_TRUE(saw_machine);
+    EXPECT_TRUE(saw_vm);
+    ASSERT_EQ(snap.histograms.size(), 1u);
+    EXPECT_EQ(snap.histograms[0].domain, "cpu:2");
+    EXPECT_EQ(snap.histograms[0].count, 1u);
+    EXPECT_EQ(snap.histograms[0].min, 500u);
+}
+
+TEST(HistogramStat, BoundedBucketsWithExactEnvelope)
+{
+    HistogramStat h;
+    EXPECT_TRUE(h.empty());
+    h.add(0);
+    h.add(1);
+    h.add(2);
+    h.add(3);
+    h.add(1000);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 1000u);
+    EXPECT_EQ(h.sum(), 1006u);
+    EXPECT_DOUBLE_EQ(h.mean(), 1006.0 / 5.0);
+    // log2 bucketing: 0 -> bucket 0, 1 -> 1, [2,3] -> 2,
+    // 1000 -> bit_width(1000) == 10.
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(2), 2u);
+    EXPECT_EQ(h.bucketCount(10), 1u);
+    // The extremes map into the fixed bucket range.
+    EXPECT_EQ(HistogramStat::bucketOf(UINT64_MAX),
+              HistogramStat::numBuckets);
+    h.reset();
+    EXPECT_TRUE(h.empty());
+    EXPECT_EQ(h.bucketCount(2), 0u);
+}
+
+TEST(EventKernelProfiler, RecordsDispatchLatencyPerLabel)
+{
+    EventQueue eq;
+    EventKernelProfiler prof;
+    eq.setProfiler(&prof);
+    const TapId label = internTap("probe.test.event");
+    int fired = 0;
+    eq.scheduleAfter(10, label, [&fired] { ++fired; });
+    eq.scheduleAfter(50, label, [&fired] { ++fired; });
+    eq.scheduleAt(70, [&fired] { ++fired; }); // unlabeled
+    eq.run();
+    EXPECT_EQ(fired, 3);
+    const HistogramStat *h = prof.histogram(label);
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count(), 2u);
+    EXPECT_EQ(h->min(), 10u);
+    EXPECT_EQ(h->max(), 50u);
+    const std::string rendered = prof.render();
+    EXPECT_NE(rendered.find("probe.test.event"), std::string::npos);
+    EXPECT_NE(rendered.find("(unlabeled)"), std::string::npos);
+}
+
+TEST(Probe, TraceEnvExportsLoadableJson)
+{
+    // VIRTSIM_TRACE end to end: run a short TCP_RR with the variable
+    // set, destroy the testbed, and parse what it exported. The
+    // testbed suffixes the SUT kind into the filename so multi-config
+    // benches don't clobber each other's exports.
+    ::setenv("VIRTSIM_TRACE", "probe_test_trace.json", 1);
+    const char *path = "probe_test_trace.kvm_arm.json";
+    {
+        Testbed tb(TestbedConfig{.kind = SutKind::KvmArm});
+        NetperfRrConfig cfg;
+        cfg.transactions = 20;
+        cfg.warmup = 2;
+        runNetperfRr(tb, cfg);
+    }
+    ::unsetenv("VIRTSIM_TRACE");
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    in.close();
+    std::remove(path);
+    const std::string json = ss.str();
+    JsonChecker checker(json);
+    EXPECT_TRUE(checker.valid());
+    // The Table V taps and the world-switch spans are all there.
+    EXPECT_NE(json.find("host.datalink.rx"), std::string::npos);
+    EXPECT_NE(json.find("vm.driver.tx"), std::string::npos);
+    EXPECT_NE(json.find("kvm.exit"), std::string::npos);
+    EXPECT_NE(json.find("ws.save.VGIC"), std::string::npos);
+}

@@ -89,28 +89,44 @@ TEST(WorldSwitch, MovesActualValues)
     EXPECT_FALSE(cpu.regs().matchesPattern(0x111));
 }
 
-TEST(WorldSwitch, RecordingCapturesPerClassCosts)
+TEST(WorldSwitch, SpansCapturePerClassCosts)
 {
     EventQueue eq;
     const CostModel cm = CostModel::armAtlas();
     PhysicalCpu cpu(0, eq, cm);
     RegFile area;
     WorldSwitchEngine wse(cm);
+    TraceSink sink;
+    wse.attachTrace(&sink);
 
-    wse.startRecording();
+    sink.enable();
     wse.save(cpu, area, {RegClass::Vgic});
     wse.restore(cpu, area, {RegClass::Gp});
-    wse.stopRecording();
-    // Not recorded after stop.
+    sink.disable();
+    // Not recorded while the sink is disabled.
     wse.save(cpu, area, {RegClass::Fp});
 
-    ASSERT_EQ(wse.records().size(), 2u);
-    EXPECT_EQ(wse.records()[0].cls, RegClass::Vgic);
-    EXPECT_TRUE(wse.records()[0].isSave);
-    EXPECT_EQ(wse.records()[0].cost, 3250u);
-    EXPECT_EQ(wse.records()[1].cls, RegClass::Gp);
-    EXPECT_FALSE(wse.records()[1].isSave);
-    EXPECT_EQ(wse.records()[1].cost, 184u);
+    struct Leg
+    {
+        RegClass cls;
+        bool isSave;
+        Cycles cost;
+    };
+    std::vector<Leg> legs;
+    sink.forEach([&legs](const TraceRecord &r) {
+        if (r.kind != TraceKind::Begin)
+            return;
+        const auto info = switchTapInfo(r.tap);
+        ASSERT_TRUE(info.has_value());
+        legs.push_back({info->cls, info->isSave, r.arg});
+    });
+    ASSERT_EQ(legs.size(), 2u);
+    EXPECT_EQ(legs[0].cls, RegClass::Vgic);
+    EXPECT_TRUE(legs[0].isSave);
+    EXPECT_EQ(legs[0].cost, 3250u);
+    EXPECT_EQ(legs[1].cls, RegClass::Gp);
+    EXPECT_FALSE(legs[1].isSave);
+    EXPECT_EQ(legs[1].cost, 184u);
 }
 
 /**

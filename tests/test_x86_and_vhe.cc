@@ -116,15 +116,22 @@ TEST(Vhe, NoEl1StateMovesOnTransition)
     auto *vhe = dynamic_cast<KvmArmVhe *>(tb.hypervisor());
     ASSERT_NE(vhe, nullptr);
     Vcpu &v = tb.guest()->vcpu(0);
-    vhe->switchEngine().startRecording();
+    TraceSink &sink = tb.trace();
+    sink.enable();
     bool done = false;
     vhe->hypercall(0, v, [&](Cycles) { done = true; });
     tb.run();
-    vhe->switchEngine().stopRecording();
+    sink.disable();
     ASSERT_TRUE(done);
-    for (const auto &rec : vhe->switchEngine().records())
-        EXPECT_EQ(rec.cls, RegClass::Gp)
-            << "VHE transition touched " << to_string(rec.cls);
+    sink.forEach([](const TraceRecord &r) {
+        if (r.kind != TraceKind::Begin)
+            return;
+        const auto info = switchTapInfo(r.tap);
+        if (!info)
+            return;
+        EXPECT_EQ(info->cls, RegClass::Gp)
+            << "VHE transition touched " << to_string(info->cls);
+    });
 }
 
 TEST(Vhe, VmSwitchStillMovesTheFullEl1World)
