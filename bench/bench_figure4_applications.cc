@@ -6,6 +6,12 @@
  * the paper's headline result: application performance does NOT
  * follow microbenchmark performance — KVM ARM meets or beats Xen ARM
  * on most I/O workloads despite Xen's 17x cheaper hypercall.
+ *
+ * Application runs emit far more trace records than the ring's
+ * default holds; set VIRTSIM_TRACE_CAPACITY (records, rounded up to a
+ * power of two, 24 bytes each) when collecting flamegraphs
+ * (VIRTSIM_FLAME) or Perfetto traces (VIRTSIM_TRACE) from this bench
+ * so spans are not truncated at the ring wrap.
  */
 
 #include <iostream>

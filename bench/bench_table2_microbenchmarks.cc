@@ -3,6 +3,11 @@
  * Regenerates Table II: "Microbenchmark Measurements (cycle counts)"
  * for KVM and Xen on ARM and x86, and compares each cell against the
  * paper's published values.
+ *
+ * Each column carries a causal BlameReport from the streaming
+ * analyzer (sim/attrib); the KVM-ARM-vs-Xen-ARM differential ranks
+ * why split-mode KVM pays more per operation — the top A-excess must
+ * be a world-switch save/restore term.
  */
 
 #include <array>
@@ -12,6 +17,7 @@
 #include "core/microbench.hh"
 #include "core/report.hh"
 #include "core/testbed.hh"
+#include "sim/attrib.hh"
 
 using namespace virtsim;
 
@@ -81,6 +87,26 @@ main()
                   << col.metrics.brief();
     std::cout << "\n";
 
+    // Per-column causal attribution: where every cycle of the suite
+    // went, ranked by blame.
+    std::cout << "Top blame terms (per configuration):\n";
+    for (const auto &col : sweep) {
+        const BlameTerm *t = col.blame.top();
+        std::cout << "  " << to_string(col.kind) << ": "
+                  << col.blame.operations << " ops, "
+                  << col.blame.attributed() << " cy attributed";
+        if (t)
+            std::cout << "; top " << t->name << " (" << t->cycles
+                      << " cy)";
+        std::cout << "\n";
+    }
+    std::cout << "\n";
+
+    // The paper's split-mode argument as a ranked differential: KVM
+    // ARM against Xen ARM over the identical operation mix.
+    const DiffReport diff = diffBlame(sweep[0].blame, sweep[1].blame);
+    std::cout << diff.render() << "\n";
+
     // The qualitative findings the paper draws from this table.
     const bool xen_arm_fast_hypercall =
         measured[MicroOp::Hypercall][1] * 3 <
@@ -94,6 +120,10 @@ main()
     const bool xen_io_out_slow =
         measured[MicroOp::IoLatencyOut][1] >
         2 * measured[MicroOp::IoLatencyOut][0];
+    const DiffRow *worst = diff.top();
+    const bool split_mode_top =
+        worst && worst->delta() > 0 &&
+        worst->name.rfind("ws.", 0) == 0;
     std::cout << "Key findings reproduced:\n"
               << "  Xen ARM hypercall < 1/3 of x86 hypercalls: "
               << (xen_arm_fast_hypercall ? "yes" : "NO") << "\n"
@@ -104,10 +134,18 @@ main()
               << (arm_virq_completion_fast ? "yes" : "NO") << "\n"
               << "  Xen ARM I/O Latency Out > 2x KVM ARM (Dom0 "
                  "wakeup): "
-              << (xen_io_out_slow ? "yes" : "NO") << "\n";
+              << (xen_io_out_slow ? "yes" : "NO") << "\n"
+              << "  Top KVM-ARM-vs-Xen-ARM blame delta is "
+                 "save/restore: "
+              << (split_mode_top ? "yes" : "NO");
+    if (worst)
+        std::cout << "  (" << worst->name << ", +" << worst->delta()
+                  << " cy)";
+    std::cout << "\n";
 
     return (xen_arm_fast_hypercall && kvm_arm_slow_hypercall &&
-            arm_virq_completion_fast && xen_io_out_slow)
+            arm_virq_completion_fast && xen_io_out_slow &&
+            split_mode_top)
                ? 0
                : 1;
 }

@@ -6,6 +6,10 @@
 #
 #   tier-1:  cmake + build + ctest in build/        (the seed gate)
 #   asan:    AddressSanitizer+UBSan ctest in build-asan/
+#   ubsan:   standalone UndefinedBehaviorSanitizer in build-ubsan/ —
+#            runs the trace/attribution tests (test_probe,
+#            test_attrib), which shift and cast raw 24-byte records;
+#            standalone UBSan catches what ASan's interceptors mask.
 #   tsan:    (--with-tsan) ThreadSanitizer ctest in build-tsan/ —
 #            exercises the parallel sweep runner's thread pool.
 set -euo pipefail
@@ -32,6 +36,15 @@ cmake -B build-asan -S . \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs"
+
+echo "== ubsan: build + trace/attribution tests =="
+cmake -B build-ubsan -S . \
+      -DVIRTSIM_SANITIZE=undefined \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-ubsan -j "$jobs" \
+      --target test_probe test_attrib
+UBSAN_OPTIONS=halt_on_error=1 ctest --test-dir build-ubsan \
+    --output-on-failure -j "$jobs" -R 'test_(probe|attrib)'
 
 if [[ "$with_tsan" == 1 ]]; then
     echo "== tsan: build + ctest =="

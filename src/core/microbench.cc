@@ -220,9 +220,12 @@ runMicrobenchSweep(const std::vector<SutKind> &kinds, int iterations)
         TestbedConfig tc;
         tc.kind = kind;
         Testbed tb(tc);
+        CausalAnalyzer &an = tb.attribution();
+        an.setLabel(to_string(kind));
         MicrobenchSuite suite(tb);
-        MicroSweepColumn col{kind, suite.runAll(iterations), {}};
+        MicroSweepColumn col{kind, suite.runAll(iterations), {}, {}};
         col.metrics = tb.metrics().snapshot();
+        col.blame = an.report(&tb.trace());
         return col;
     });
 }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/testbed.hh"
+#include "sim/attrib.hh"
 #include "sim/probe.hh"
 #include "sim/stats.hh"
 
@@ -65,6 +66,10 @@ struct MicroSweepColumn
     /** Metrics captured after the column ran (trap counts, world
      *  switches, vIRQ injections per VM). */
     MetricsSnapshot metrics;
+    /** Causal blame across the whole column: every span cycle the
+     *  suite's operations emitted, attributed per primitive. Name
+     *  keyed, so columns diff against each other directly. */
+    BlameReport blame;
 };
 
 /**

@@ -17,6 +17,10 @@ struct RrTaps
     TapId vmRx = internTap("vm.driver.rx");         ///< "VM recv"
     TapId vmTx = internTap("vm.driver.tx");         ///< "VM send"
     TapId serverTx = internTap("host.datalink.tx"); ///< "send"
+    /** Causal envelope for one server-side transaction (recv ->
+     *  send), rooting its world switches and backend work in blame
+     *  reports and flamegraphs. */
+    TapId opTcpRr = internTap("op.tcp_rr");
 };
 
 const RrTaps &
@@ -67,9 +71,14 @@ runNetperfRr(Testbed &tb, NetperfRrConfig cfg)
     tb.setIdle(0, true);
 
     std::uint64_t current = 0; // transaction id
+    // Server-side arrival time per in-flight transaction, for the
+    // op.tcp_rr envelope emitted when the reply hits the datalink.
+    std::vector<Cycles> rxAt(static_cast<std::size_t>(total), 0);
 
     tb.onHostRx = [&](Cycles t, const Packet &pkt) {
         sink.stamp(t, pkt.flow, taps.hostRx);
+        if (pkt.flow < rxAt.size())
+            rxAt[static_cast<std::size_t>(pkt.flow)] = t;
     };
 
     tb.onVmRx = [&](Cycles t, const Packet &pkt) {
@@ -82,14 +91,18 @@ runNetperfRr(Testbed &tb, NetperfRrConfig cfg)
         if (tb.virtualized())
             work += net.guestResidual;
         const Cycles t1 = tb.charge(t, 0, work);
-        tb.queue().scheduleAt(t1, [&tb, &sink, &taps, id, t1] {
+        tb.queue().scheduleAt(t1, [&tb, &sink, &taps, &rxAt, id, t1] {
             sink.stamp(t1, id, taps.vmTx);
             Packet reply;
             reply.flow = id;
             reply.bytes = 1;
             reply.born = t1;
-            tb.send(t1, 0, reply, [&tb, &sink, &taps, id](Cycles t2) {
+            tb.send(t1, 0, reply,
+                    [&tb, &sink, &taps, &rxAt, id](Cycles t2) {
                 sink.stamp(t2, id, taps.serverTx);
+                if (id < rxAt.size() && rxAt[id] > 0)
+                    sink.span(rxAt[id], t2, taps.opTcpRr, TraceCat::Op,
+                              noTrack, id);
                 // Server application blocks in recv() again.
                 tb.setIdle(0, true);
             });

@@ -72,7 +72,8 @@ Testbed::Testbed(TestbedConfig config)
                            : MachineConfig::dellR320();
     server = std::make_unique<Machine>(eq, mc);
     wire_ = std::make_unique<Wire>(
-        eq, server->stats(), server->freq().cycles(wireOneWayUs));
+        eq, server->stats(), server->freq().cycles(wireOneWayUs),
+        &server->probe());
 
     wire_->setServerEndpoint([this](Cycles t, const Packet &pkt) {
         server->nic().receiveFromWire(t, pkt);
@@ -94,6 +95,14 @@ Testbed::Testbed(TestbedConfig config)
     // a Perfetto-loadable trace; VIRTSIM_METRICS=<file> dumps the
     // metrics snapshot as JSON. Either also attaches the event-kernel
     // dispatch profiler.
+    // VIRTSIM_TRACE_CAPACITY=<records> resizes the ring before it is
+    // enabled (rounded up to a power of two; 24 bytes per record).
+    if (const char *p = std::getenv("VIRTSIM_TRACE_CAPACITY")) {
+        char *end = nullptr;
+        const unsigned long long n = std::strtoull(p, &end, 10);
+        if (end != p && n > 0)
+            server->trace().setCapacity(static_cast<std::size_t>(n));
+    }
     if (const char *p = std::getenv("VIRTSIM_TRACE")) {
         if (*p) {
             tracePath = p;
@@ -104,7 +113,16 @@ Testbed::Testbed(TestbedConfig config)
         if (*p)
             metricsPath = p;
     }
-    if (!tracePath.empty() || !metricsPath.empty())
+    // VIRTSIM_FLAME=<file> streams blame through the causal analyzer
+    // and writes a folded-stack file (flamegraph.pl input) at
+    // teardown.
+    if (const char *p = std::getenv("VIRTSIM_FLAME")) {
+        if (*p) {
+            flamePath = p;
+            attribution();
+        }
+    }
+    if (!tracePath.empty() || !metricsPath.empty() || !flamePath.empty())
         eq.setProfiler(&server->probe().profiler);
 }
 
@@ -133,7 +151,7 @@ perKindPath(const std::string &path, SutKind kind)
 
 Testbed::~Testbed()
 {
-    if (tracePath.empty() && metricsPath.empty())
+    if (tracePath.empty() && metricsPath.empty() && flamePath.empty())
         return;
     // Parallel sweeps tear testbeds down from worker threads; exports
     // go one at a time. Same-kind testbeds still share a path (last
@@ -145,7 +163,12 @@ Testbed::~Testbed()
                           server->trace(), server->freq(),
                           to_string(cfg.kind));
     }
+    if (!flamePath.empty() && _attrib) {
+        _attrib->writeFoldedFile(perKindPath(flamePath, cfg.kind),
+                                 to_string(cfg.kind));
+    }
     if (!metricsPath.empty()) {
+        server->probe().syncTraceHealth();
         const std::string path = perKindPath(metricsPath, cfg.kind);
         std::ofstream os(path);
         if (!os) {
@@ -156,11 +179,24 @@ Testbed::~Testbed()
     }
 }
 
+CausalAnalyzer &
+Testbed::attribution()
+{
+    if (!_attrib) {
+        _attrib = std::make_unique<CausalAnalyzer>();
+        server->trace().enable();
+        server->trace().setObserver(_attrib.get());
+    }
+    return *_attrib;
+}
+
 void
 Testbed::beginRun()
 {
     server->stats().reset();
     server->probe().reset();
+    if (_attrib)
+        _attrib->reset();
 }
 
 void

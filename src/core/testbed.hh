@@ -38,6 +38,7 @@
 #include "hw/machine.hh"
 #include "hw/wire.hh"
 #include "os/netstack.hh"
+#include "sim/attrib.hh"
 #include "sim/random.hh"
 
 namespace virtsim {
@@ -97,6 +98,16 @@ class Testbed
     Probe &probe() { return server->probe(); }
     TraceSink &trace() { return server->trace(); }
     MetricsRegistry &metrics() { return server->metrics(); }
+
+    /**
+     * The streaming causal analyzer for this testbed. First call
+     * enables the trace sink and attaches the analyzer as its
+     * observer; blame accumulates online from then on, so the ring
+     * never needs to retain the whole run. One analyzer per testbed
+     * keeps sweep workers lock-free and reports deterministic
+     * regardless of VIRTSIM_JOBS.
+     */
+    CausalAnalyzer &attribution();
     const NetstackCosts &netCosts() const { return net; }
 
     /**
@@ -197,6 +208,8 @@ class Testbed
     NetstackCosts net;
     std::string tracePath;   ///< VIRTSIM_TRACE destination, if set
     std::string metricsPath; ///< VIRTSIM_METRICS destination, if set
+    std::string flamePath;   ///< VIRTSIM_FLAME destination, if set
+    std::unique_ptr<CausalAnalyzer> _attrib;
     std::uint64_t txSeq = 0;
     /** Native-mode pending IPI completions per CPU. */
     std::array<std::deque<Done>, 8> nativeIpiDone;

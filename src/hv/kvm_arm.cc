@@ -22,6 +22,16 @@ struct KvmTaps
     TapId virqInjected = internTap("kvm.virq_injected");
     TapId txKick = internTap("kvm.io.tx_kick");
     TapId rxDeliver = internTap("kvm.io.rx_deliver");
+    /** Guest-visible operation envelopes (TraceCat::Op): emitted
+     *  after their constituent spans so sim/attrib can parent by
+     *  interval containment and count operations. Names are shared
+     *  with the other hypervisors so differential reports align. */
+    TapId opHypercall = internTap("op.hypercall");
+    TapId opIrqTrap = internTap("op.irq_trap");
+    TapId opVipi = internTap("op.vipi");
+    TapId opVmSwitch = internTap("op.vm_switch");
+    TapId opIoOut = internTap("op.io_out");
+    TapId opIoIn = internTap("op.io_in");
 };
 
 const KvmTaps &
@@ -191,6 +201,8 @@ KvmArm::hypercall(Cycles t, Vcpu &v, Done done)
     const Cycles t3 = enterVm(t2, v);
     stats().counter("kvm.hypercalls").inc();
     vmMetrics(v.vm()).histogram(kvmTaps().trapHypercall).add(t3 - t);
+    trace().span(t, t3, kvmTaps().opHypercall, TraceCat::Op,
+                 static_cast<std::uint16_t>(v.pcpu()));
     queue().scheduleAt(t3, [t3, done] { done(t3); });
 }
 
@@ -206,6 +218,8 @@ KvmArm::irqControllerTrap(Cycles t, Vcpu &v, Done done)
     const Cycles t3 = enterVm(t2, v);
     stats().counter("kvm.irqchip_traps").inc();
     vmMetrics(v.vm()).histogram(kvmTaps().trapIrqchip).add(t3 - t);
+    trace().span(t, t3, kvmTaps().opIrqTrap, TraceCat::Op,
+                 static_cast<std::uint16_t>(v.pcpu()));
     queue().scheduleAt(t3, [t3, done] { done(t3); });
 }
 
@@ -217,7 +231,7 @@ KvmArm::flushAndResume(Cycles t, Vcpu &v, Done done)
     // interrupt from its virtual CPU interface and dispatches.
     const Cycles te = enterVm(t, v);
     PhysicalCpu &cpu = mach.cpu(v.pcpu());
-    const IrqId virq = mach.gic().guestAckVirq(v.pcpu());
+    const IrqId virq = mach.gic().guestAckVirq(v.pcpu(), te);
     Cycles c = mach.gic().guestAckCost() + params.guestIrqDispatch;
     if (virq < 0)
         stats().counter("kvm.spurious_wakeup").inc();
@@ -294,7 +308,15 @@ KvmArm::virtualIpi(Cycles t, Vcpu &src, Vcpu &dst, Done done)
     // The kick races ahead; the sender's own re-entry is off the
     // measured path but still consumes its CPU.
     vmMetrics(src.vm()).histogram(kvmTaps().trapVipi).add(t2 - t);
-    injectVirq(t2, dst, sgiRescheduleIrq + 8, done);
+    // The operation envelope closes when the receiver dispatches its
+    // handler — after every constituent span, as attribution needs.
+    Done wrapped = [this, t,
+                    track = static_cast<std::uint16_t>(src.pcpu()),
+                    done](Cycles ta) {
+        trace().span(t, ta, kvmTaps().opVipi, TraceCat::Op, track);
+        done(ta);
+    };
+    injectVirq(t2, dst, sgiRescheduleIrq + 8, std::move(wrapped));
     enterVm(t2, src);
 }
 
@@ -332,6 +354,8 @@ KvmArm::vmSwitch(Cycles t, Vcpu &from, Vcpu &to, Done done)
     const Cycles t3 = enterVm(t2, to);
     stats().counter("kvm.vm_switches").inc();
     vmMetrics(to.vm()).histogram(kvmTaps().trapVmSwitch).add(t3 - t);
+    trace().span(t, t3, kvmTaps().opVmSwitch, TraceCat::Op,
+                 static_cast<std::uint16_t>(from.pcpu()));
     queue().scheduleAt(t3, [t3, done] { done(t3); });
 }
 
@@ -350,6 +374,8 @@ KvmArm::ioSignalOut(Cycles t, Vcpu &v, Done done)
     const Cycles t3 = worker.charge(t2, params.vhostNotifyLatency);
     stats().counter("kvm.io_signal_out").inc();
     vmMetrics(v.vm()).histogram(kvmTaps().trapIoOut).add(t3 - t);
+    trace().span(t, t3, kvmTaps().opIoOut, TraceCat::Op,
+                 static_cast<std::uint16_t>(v.pcpu()));
     queue().scheduleAt(t3, [t3, done] { done(t3); });
 }
 
@@ -364,7 +390,13 @@ KvmArm::ioSignalIn(Cycles t, Vcpu &v, Done done)
     stats().counter("kvm.io_signal_in").inc();
     trace().instant(t, kvmTaps().ioIn, TraceCat::Io,
                     static_cast<std::uint16_t>(v.pcpu()));
-    injectVirq(t1, v, spiNicIrq, done);
+    Done wrapped = [this, t,
+                    track = static_cast<std::uint16_t>(v.pcpu()),
+                    done](Cycles ta) {
+        trace().span(t, ta, kvmTaps().opIoIn, TraceCat::Op, track);
+        done(ta);
+    };
+    injectVirq(t1, v, spiNicIrq, std::move(wrapped));
 }
 
 void

@@ -12,6 +12,7 @@ struct VheTaps
     TapId enter = internTap("kvm.enter");
     TapId worldSwitch = internTap("kvm.world_switch");
     TapId trapVmSwitch = internTap("kvm.trap.vm_switch");
+    TapId opVmSwitch = internTap("op.vm_switch");
 };
 
 const VheTaps &
@@ -127,6 +128,8 @@ KvmArmVhe::vmSwitch(Cycles t, Vcpu &from, Vcpu &to, Done done)
     const Cycles t3 = enterVm(t2, to);
     stats().counter("kvm.vm_switches").inc();
     vmMetrics(to.vm()).histogram(vheTaps().trapVmSwitch).add(t3 - t);
+    trace().span(t, t3, vheTaps().opVmSwitch, TraceCat::Op,
+                 static_cast<std::uint16_t>(from.pcpu()));
     queue().scheduleAt(t3, [t3, done] { done(t3); });
 }
 

@@ -18,6 +18,14 @@ struct KvmX86Taps
     TapId trapVmSwitch = internTap("kvm.trap.vm_switch");
     TapId trapEoi = internTap("kvm.trap.eoi");
     TapId virqInjected = internTap("kvm.virq_injected");
+    // Guest-visible operation envelopes, shared across hypervisors so
+    // differential reports line up by name.
+    TapId opHypercall = internTap("op.hypercall");
+    TapId opIrqTrap = internTap("op.irq_trap");
+    TapId opVipi = internTap("op.vipi");
+    TapId opVmSwitch = internTap("op.vm_switch");
+    TapId opIoOut = internTap("op.io_out");
+    TapId opIoIn = internTap("op.io_in");
 };
 
 const KvmX86Taps &
@@ -149,6 +157,8 @@ KvmX86::hypercall(Cycles t, Vcpu &v, Done done)
     stats().counter("kvm.hypercalls").inc();
     vmMetrics(v.vm()).histogram(kvmX86Taps().trapHypercall)
         .add(t3 - t);
+    trace().span(t, t3, kvmX86Taps().opHypercall, TraceCat::Op,
+                 static_cast<std::uint16_t>(v.pcpu()));
     queue().scheduleAt(t3, [t3, done] { done(t3); });
 }
 
@@ -162,6 +172,8 @@ KvmX86::irqControllerTrap(Cycles t, Vcpu &v, Done done)
     stats().counter("kvm.irqchip_traps").inc();
     vmMetrics(v.vm()).histogram(kvmX86Taps().trapIrqchip)
         .add(t3 - t);
+    trace().span(t, t3, kvmX86Taps().opIrqTrap, TraceCat::Op,
+                 static_cast<std::uint16_t>(v.pcpu()));
     queue().scheduleAt(t3, [t3, done] { done(t3); });
 }
 
@@ -234,7 +246,12 @@ KvmX86::virtualIpi(Cycles t, Vcpu &src, Vcpu &dst, Done done)
                 mach.costs().irqChipRegAccess);
     vmMetrics(src.vm()).histogram(kvmX86Taps().trapVipi)
         .add(t2 - t);
-    injectVirq(t2, dst, sgiRescheduleIrq + 8, done);
+    Done wrapped = [this, t, track = static_cast<std::uint16_t>(src.pcpu()),
+                    done](Cycles ta) {
+        trace().span(t, ta, kvmX86Taps().opVipi, TraceCat::Op, track);
+        done(ta);
+    };
+    injectVirq(t2, dst, sgiRescheduleIrq + 8, std::move(wrapped));
     enterVm(t2, src);
 }
 
@@ -275,6 +292,8 @@ KvmX86::vmSwitch(Cycles t, Vcpu &from, Vcpu &to, Done done)
     stats().counter("kvm.vm_switches").inc();
     vmMetrics(to.vm()).histogram(kvmX86Taps().trapVmSwitch)
         .add(t3 - t);
+    trace().span(t, t3, kvmX86Taps().opVmSwitch, TraceCat::Op,
+                 static_cast<std::uint16_t>(from.pcpu()));
     queue().scheduleAt(t3, [t3, done] { done(t3); });
 }
 
@@ -291,6 +310,8 @@ KvmX86::ioSignalOut(Cycles t, Vcpu &v, Done done)
         t, mach.costs().vmexitHw + params.ioeventfdSignal);
     cpu.charge(t2, mach.costs().vmentryHw);
     stats().counter("kvm.io_signal_out").inc();
+    trace().span(t, t2, kvmX86Taps().opIoOut, TraceCat::Op,
+                 static_cast<std::uint16_t>(v.pcpu()));
     queue().scheduleAt(t2, [t2, done] { done(t2); });
 }
 
@@ -301,7 +322,12 @@ KvmX86::ioSignalIn(Cycles t, Vcpu &v, Done done)
     PhysicalCpu &worker = mach.cpu(_vhost->params().workerPcpu);
     const Cycles t1 = worker.charge(t, params.irqfdInject);
     stats().counter("kvm.io_signal_in").inc();
-    injectVirq(t1, v, spiNicIrq, done);
+    Done wrapped = [this, t, track = static_cast<std::uint16_t>(v.pcpu()),
+                    done](Cycles ta) {
+        trace().span(t, ta, kvmX86Taps().opIoIn, TraceCat::Op, track);
+        done(ta);
+    };
+    injectVirq(t1, v, spiNicIrq, std::move(wrapped));
 }
 
 void

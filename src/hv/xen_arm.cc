@@ -22,6 +22,14 @@ struct XenTaps
     TapId virqInjected = internTap("xen.virq_injected");
     TapId txKick = internTap("xen.io.tx_kick");
     TapId rxDeliver = internTap("xen.io.rx_deliver");
+    /** Guest-visible operation envelopes (TraceCat::Op), shared
+     *  names across hypervisors for differential attribution. */
+    TapId opHypercall = internTap("op.hypercall");
+    TapId opIrqTrap = internTap("op.irq_trap");
+    TapId opVipi = internTap("op.vipi");
+    TapId opVmSwitch = internTap("op.vm_switch");
+    TapId opIoOut = internTap("op.io_out");
+    TapId opIoIn = internTap("op.io_in");
 };
 
 const XenTaps &
@@ -220,6 +228,8 @@ XenArm::hypercall(Cycles t, Vcpu &v, Done done)
     const Cycles t2 = resumeVm(t1, v);
     stats().counter("xen.hypercalls").inc();
     vmMetrics(v.vm()).histogram(xenTaps().trapHypercall).add(t2 - t);
+    trace().span(t, t2, xenTaps().opHypercall, TraceCat::Op,
+                 static_cast<std::uint16_t>(v.pcpu()));
     queue().scheduleAt(t2, [t2, done] { done(t2); });
 }
 
@@ -234,6 +244,8 @@ XenArm::irqControllerTrap(Cycles t, Vcpu &v, Done done)
     const Cycles t3 = resumeVm(t2, v);
     stats().counter("xen.irqchip_traps").inc();
     vmMetrics(v.vm()).histogram(xenTaps().trapIrqchip).add(t3 - t);
+    trace().span(t, t3, xenTaps().opIrqTrap, TraceCat::Op,
+                 static_cast<std::uint16_t>(v.pcpu()));
     queue().scheduleAt(t3, [t3, done] { done(t3); });
 }
 
@@ -264,9 +276,9 @@ XenArm::injectIntoRunning(Cycles t, Vcpu &v, Done done)
 
     // Guest side: acknowledge the virtual interrupt and dispatch.
     c += mach.gic().guestAckCost() + params.guestIrqDispatch;
-    const IrqId acked = mach.gic().guestAckVirq(v.pcpu());
 
     const Cycles t1 = cpu.charge(t, c);
+    const IrqId acked = mach.gic().guestAckVirq(v.pcpu(), t1);
     queue().scheduleAt(t1, [t1, done] { done(t1); });
     // Completion (71-cycle fast path) trails the handler.
     if (acked >= 0)
@@ -303,7 +315,7 @@ XenArm::injectVirq(Cycles t, Vcpu &v, IrqId virq, Done done)
             PhysicalCpu &cpu = mach.cpu(v.pcpu());
             const Cycles ta = cpu.charge(
                 tr, mach.gic().guestAckCost() + params.guestIrqDispatch);
-            const IrqId acked = mach.gic().guestAckVirq(v.pcpu());
+            const IrqId acked = mach.gic().guestAckVirq(v.pcpu(), ta);
             queue().scheduleAt(ta, [ta, done] { done(ta); });
             if (acked >= 0) {
                 cpu.charge(ta, mach.gic().guestCompleteVirq(v.pcpu(),
@@ -328,7 +340,14 @@ XenArm::virtualIpi(Cycles t, Vcpu &src, Vcpu &dst, Done done)
         t1, params.sgiEmulation + mach.costs().irqChipRegAccess);
 
     vmMetrics(src.vm()).histogram(xenTaps().trapVipi).add(t2 - t);
-    injectVirq(t2, dst, sgiRescheduleIrq + 8, done);
+    // Operation envelope closes when the receiver dispatches.
+    Done wrapped = [this, t,
+                    track = static_cast<std::uint16_t>(src.pcpu()),
+                    done](Cycles ta) {
+        trace().span(t, ta, xenTaps().opVipi, TraceCat::Op, track);
+        done(ta);
+    };
+    injectVirq(t2, dst, sgiRescheduleIrq + 8, std::move(wrapped));
     resumeVm(t2, src);
 }
 
@@ -366,6 +385,8 @@ XenArm::vmSwitch(Cycles t, Vcpu &from, Vcpu &to, Done done)
     const Cycles t2 = switchDomains(t1, &from, to, true);
     stats().counter("xen.vm_switches").inc();
     vmMetrics(to.vm()).histogram(xenTaps().trapVmSwitch).add(t2 - t);
+    trace().span(t, t2, xenTaps().opVmSwitch, TraceCat::Op,
+                 static_cast<std::uint16_t>(from.pcpu()));
     queue().scheduleAt(t2, [t2, done] { done(t2); });
 }
 
@@ -382,14 +403,20 @@ XenArm::ioSignalOut(Cycles t, Vcpu &v, Done done)
     stats().counter("xen.io_signal_out").inc();
     vmMetrics(v.vm()).histogram(xenTaps().trapIoOut).add(t2 - t);
 
+    Done wrapped = [this, t,
+                    track = static_cast<std::uint16_t>(v.pcpu()),
+                    done](Cycles ta) {
+        trace().span(t, ta, xenTaps().opIoOut, TraceCat::Op, track);
+        done(ta);
+    };
     Vcpu &d0 = dom0Vcpu();
     kickActions[static_cast<std::size_t>(d0.pcpu())].push_back(
-        [this, &d0, done](Cycles th) {
+        [this, &d0, done = std::move(wrapped)](Cycles th) {
             const Cycles tr = ensureRunning(th, d0);
             PhysicalCpu &dcpu = mach.cpu(d0.pcpu());
             Cycles c = mach.gic().guestAckCost() +
                        params.guestIrqDispatch;
-            const IrqId acked = mach.gic().guestAckVirq(d0.pcpu());
+            const IrqId acked = mach.gic().guestAckVirq(d0.pcpu(), tr);
             if (acked >= 0)
                 c += mach.gic().guestCompleteVirq(d0.pcpu(), acked);
             c += params.backendDequeue;
@@ -414,7 +441,13 @@ XenArm::ioSignalIn(Cycles t, Vcpu &v, Done done)
     PhysicalCpu &dcpu = mach.cpu(d0.pcpu());
     const Cycles t2 = dcpu.charge(t1, evtchn->notify(portDomU));
     stats().counter("xen.io_signal_in").inc();
-    injectVirq(t2, v, spiNicIrq, done);
+    Done wrapped = [this, t,
+                    track = static_cast<std::uint16_t>(v.pcpu()),
+                    done](Cycles ta) {
+        trace().span(t, ta, xenTaps().opIoIn, TraceCat::Op, track);
+        done(ta);
+    };
+    injectVirq(t2, v, spiNicIrq, std::move(wrapped));
     resumeVm(t2, d0);
 }
 
@@ -546,7 +579,7 @@ XenArm::guestTransmit(Cycles t, Vcpu &v, const Packet &pkt, Done done)
             Cycles c2 = mach.gic().guestAckCost() +
                         params.guestIrqDispatch +
                         params.backendDequeue;
-            const IrqId acked = mach.gic().guestAckVirq(d0.pcpu());
+            const IrqId acked = mach.gic().guestAckVirq(d0.pcpu(), tr);
             if (acked >= 0)
                 c2 += mach.gic().guestCompleteVirq(d0.pcpu(), acked);
             const Cycles t3 = dcpu.charge(tr, c2);
@@ -678,7 +711,7 @@ XenArm::handleNicIrq(Cycles t, PcpuId cpu)
     const Cycles t2 = ensureRunning(t1, d0);
     PhysicalCpu &dcpu = mach.cpu(d0.pcpu());
     Cycles ack_cost = mach.gic().guestAckCost() + net.irqPath;
-    const IrqId acked = mach.gic().guestAckVirq(d0.pcpu());
+    const IrqId acked = mach.gic().guestAckVirq(d0.pcpu(), t2);
     if (acked >= 0)
         ack_cost += mach.gic().guestCompleteVirq(d0.pcpu(), acked);
     const Cycles t3 = dcpu.charge(t2, ack_cost);

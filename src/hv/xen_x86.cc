@@ -17,6 +17,14 @@ struct XenX86Taps
     TapId trapVmSwitch = internTap("xen.trap.vm_switch");
     TapId trapEoi = internTap("xen.trap.eoi");
     TapId virqInjected = internTap("xen.virq_injected");
+    // Guest-visible operation envelopes, shared across hypervisors so
+    // differential reports line up by name.
+    TapId opHypercall = internTap("op.hypercall");
+    TapId opIrqTrap = internTap("op.irq_trap");
+    TapId opVipi = internTap("op.vipi");
+    TapId opVmSwitch = internTap("op.vm_switch");
+    TapId opIoOut = internTap("op.io_out");
+    TapId opIoIn = internTap("op.io_in");
 };
 
 const XenX86Taps &
@@ -196,6 +204,8 @@ XenX86::hypercall(Cycles t, Vcpu &v, Done done)
     stats().counter("xen.hypercalls").inc();
     vmMetrics(v.vm()).histogram(xenX86Taps().trapHypercall)
         .add(t2 - t);
+    trace().span(t, t2, xenX86Taps().opHypercall, TraceCat::Op,
+                 static_cast<std::uint16_t>(v.pcpu()));
     queue().scheduleAt(t2, [t2, done] { done(t2); });
 }
 
@@ -209,6 +219,8 @@ XenX86::irqControllerTrap(Cycles t, Vcpu &v, Done done)
     stats().counter("xen.irqchip_traps").inc();
     vmMetrics(v.vm()).histogram(xenX86Taps().trapIrqchip)
         .add(t3 - t);
+    trace().span(t, t3, xenX86Taps().opIrqTrap, TraceCat::Op,
+                 static_cast<std::uint16_t>(v.pcpu()));
     queue().scheduleAt(t3, [t3, done] { done(t3); });
 }
 
@@ -283,7 +295,12 @@ XenX86::virtualIpi(Cycles t, Vcpu &src, Vcpu &dst, Done done)
     const Cycles t2 = scpu.charge(
         t1, params.apicEmulation + params.kickPath +
                 mach.costs().irqChipRegAccess);
-    injectVirq(t2, dst, sgiRescheduleIrq + 8, done);
+    Done wrapped = [this, t, track = static_cast<std::uint16_t>(src.pcpu()),
+                    done](Cycles ta) {
+        trace().span(t, ta, xenX86Taps().opVipi, TraceCat::Op, track);
+        done(ta);
+    };
+    injectVirq(t2, dst, sgiRescheduleIrq + 8, std::move(wrapped));
     resumeVm(t2, src);
 }
 
@@ -321,6 +338,8 @@ XenX86::vmSwitch(Cycles t, Vcpu &from, Vcpu &to, Done done)
     stats().counter("xen.vm_switches").inc();
     vmMetrics(to.vm()).histogram(xenX86Taps().trapVmSwitch)
         .add(t2 - t);
+    trace().span(t, t2, xenX86Taps().opVmSwitch, TraceCat::Op,
+                 static_cast<std::uint16_t>(from.pcpu()));
     queue().scheduleAt(t2, [t2, done] { done(t2); });
 }
 
@@ -334,8 +353,13 @@ XenX86::ioSignalOut(Cycles t, Vcpu &v, Done done)
     stats().counter("xen.io_signal_out").inc();
 
     Vcpu &d0 = dom0Vcpu();
+    Done wrapped = [this, t, track = static_cast<std::uint16_t>(v.pcpu()),
+                    done](Cycles ta) {
+        trace().span(t, ta, xenX86Taps().opIoOut, TraceCat::Op, track);
+        done(ta);
+    };
     kickActions[static_cast<std::size_t>(d0.pcpu())].push_back(
-        [this, &d0, done](Cycles th) {
+        [this, &d0, done = std::move(wrapped)](Cycles th) {
             const Cycles tr = ensureRunning(th, d0);
             PhysicalCpu &dcpu = mach.cpu(d0.pcpu());
             const Cycles t3 = dcpu.charge(
@@ -358,7 +382,12 @@ XenX86::ioSignalIn(Cycles t, Vcpu &v, Done done)
     PhysicalCpu &dcpu = mach.cpu(d0.pcpu());
     const Cycles t2 = dcpu.charge(t1, evtchn->notify(portDomU));
     stats().counter("xen.io_signal_in").inc();
-    injectVirq(t2, v, spiNicIrq, done);
+    Done wrapped = [this, t, track = static_cast<std::uint16_t>(v.pcpu()),
+                    done](Cycles ta) {
+        trace().span(t, ta, xenX86Taps().opIoIn, TraceCat::Op, track);
+        done(ta);
+    };
+    injectVirq(t2, v, spiNicIrq, std::move(wrapped));
     resumeVm(t2, d0);
 }
 

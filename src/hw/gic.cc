@@ -1,5 +1,6 @@
 #include "hw/gic.hh"
 
+#include "sim/attrib.hh"
 #include "sim/log.hh"
 
 namespace virtsim {
@@ -56,11 +57,27 @@ void
 IrqChip::sendIpi(Cycles t, PcpuId target, IrqId irq)
 {
     stats.counter("irqchip.ipi_sent").inc();
+    std::uint64_t token = 0;
     if (probe) {
         probe->metrics.machine().counter(chipTaps().ipiSent).inc();
         probe->metrics.cpu(target).counter(chipTaps().ipiSent).inc();
+        token = probe->trace.edgeOut(t, edgeIpiTap(), TraceCat::Irq,
+                                     noTrack);
     }
-    deliver(t + cm.ipiFlight, target, irq);
+    // Inline the delivery scheduling (rather than deliver()) so the
+    // causal edge closes at the exact delivery instant on the target
+    // track.
+    VIRTSIM_ASSERT(handler, "no physical IRQ handler installed");
+    const Cycles td = t + cm.ipiFlight;
+    eq.scheduleAt(td, chipTaps().irqDeliver,
+                  [this, td, target, irq, token] {
+                      if (probe) {
+                          probe->trace.edgeIn(
+                              td, token, edgeIpiTap(), TraceCat::Irq,
+                              static_cast<std::uint16_t>(target));
+                      }
+                      handler(td, target, irq);
+                  });
 }
 
 void
@@ -97,6 +114,9 @@ Gic::injectVirq(Cycles t, PcpuId cpu, IrqId virq)
                     t, chipTaps().lrWrite, TraceCat::Irq,
                     static_cast<std::uint16_t>(cpu),
                     static_cast<std::uint64_t>(virq));
+                regs[i].edgeToken = probe->trace.edgeOut(
+                    t, edgeLrTap(), TraceCat::Irq,
+                    static_cast<std::uint16_t>(cpu));
             }
             return static_cast<int>(i);
         }
@@ -118,7 +138,7 @@ Gic::listRegs(PcpuId cpu)
 }
 
 IrqId
-Gic::guestAckVirq(PcpuId cpu)
+Gic::guestAckVirq(PcpuId cpu, Cycles t)
 {
     auto &regs = listRegs(cpu);
     for (auto &lr : regs) {
@@ -126,6 +146,12 @@ Gic::guestAckVirq(PcpuId cpu)
             lr.pending = false;
             lr.active = true;
             stats.counter("gic.guest_ack").inc();
+            if (probe && lr.edgeToken != 0 && t != 0) {
+                probe->trace.edgeIn(t, lr.edgeToken, edgeLrTap(),
+                                    TraceCat::Irq,
+                                    static_cast<std::uint16_t>(cpu));
+            }
+            lr.edgeToken = 0;
             return lr.virq;
         }
     }

@@ -112,6 +112,9 @@ class IrqChip
 struct ListReg
 {
     IrqId virq = -1;
+    /** Causal-edge token stamped at LR write, redeemed at guest ack
+     *  (sim/attrib links the write->ack latency across the trace). */
+    std::uint64_t edgeToken = 0;
     bool pending = false;
     bool active = false;
 
@@ -158,10 +161,11 @@ class Gic : public IrqChip
     ///@{
     /**
      * VM acknowledges the highest-priority pending virtual interrupt
-     * (reads GICV_IAR).
+     * (reads GICV_IAR). @p t , when given, closes the LR causal edge
+     * opened at injection (write-to-ack latency attribution).
      * @return the virq acknowledged, or -1 if none pending.
      */
-    IrqId guestAckVirq(PcpuId cpu);
+    IrqId guestAckVirq(PcpuId cpu, Cycles t = 0);
 
     /**
      * VM completes a virtual interrupt (writes GICV_EOIR/DIR). No

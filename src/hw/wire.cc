@@ -1,5 +1,6 @@
 #include "hw/wire.hh"
 
+#include "sim/attrib.hh"
 #include "sim/log.hh"
 
 namespace virtsim {
@@ -9,7 +10,14 @@ Wire::sendToServer(Cycles t, const Packet &pkt)
 {
     VIRTSIM_ASSERT(toServer, "wire has no server endpoint");
     stats.counter("wire.to_server").inc();
-    eq.scheduleAt(t + latency, [this, t, pkt] {
+    std::uint64_t token = 0;
+    if (probe)
+        token = probe->trace.edgeOut(t, edgeWireTap(), TraceCat::Io);
+    eq.scheduleAt(t + latency, [this, t, pkt, token] {
+        if (probe) {
+            probe->trace.edgeIn(t + latency, token, edgeWireTap(),
+                                TraceCat::Io);
+        }
         toServer(t + latency, pkt);
     });
 }
@@ -19,7 +27,14 @@ Wire::sendToClient(Cycles t, const Packet &pkt)
 {
     VIRTSIM_ASSERT(toClient, "wire has no client endpoint");
     stats.counter("wire.to_client").inc();
-    eq.scheduleAt(t + latency, [this, t, pkt] {
+    std::uint64_t token = 0;
+    if (probe)
+        token = probe->trace.edgeOut(t, edgeWireTap(), TraceCat::Io);
+    eq.scheduleAt(t + latency, [this, t, pkt, token] {
+        if (probe) {
+            probe->trace.edgeIn(t + latency, token, edgeWireTap(),
+                                TraceCat::Io);
+        }
         toClient(t + latency, pkt);
     });
 }

@@ -17,6 +17,7 @@
 
 #include "hw/nic.hh"
 #include "sim/event_queue.hh"
+#include "sim/probe.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -31,8 +32,11 @@ class Wire
   public:
     using Endpoint = std::function<void(Cycles, const Packet &)>;
 
-    Wire(EventQueue &eq, StatRegistry &stats, Cycles one_way_latency)
-        : eq(eq), stats(stats), latency(one_way_latency)
+    /** probe is optional: when given, each transit stamps a causal
+     *  edge ("edge.wire") linking tx and rx across the link. */
+    Wire(EventQueue &eq, StatRegistry &stats, Cycles one_way_latency,
+         Probe *probe = nullptr)
+        : eq(eq), stats(stats), latency(one_way_latency), probe(probe)
     {
     }
 
@@ -51,6 +55,7 @@ class Wire
     EventQueue &eq;
     StatRegistry &stats;
     Cycles latency;
+    Probe *probe; ///< may be null (standalone wire)
     Endpoint toServer;
     Endpoint toClient;
 };

@@ -1,5 +1,6 @@
 #include "os/netback.hh"
 
+#include "sim/attrib.hh"
 #include "sim/log.hh"
 
 namespace virtsim {
@@ -59,7 +60,12 @@ NetbackBackend::dom0RxToDomU(Cycles t, const Packet &pkt,
             .inc(static_cast<std::uint64_t>(framesFor(pkt.bytes)));
         return;
     }
-    rxJobs.push_back(RxJob{pkt, aggregate_leader, std::move(ready)});
+    // Causal edge: the NAPI-to-netback-kthread handoff inside Dom0.
+    const std::uint64_t token = mach.trace().edgeOut(
+        t, edgeWakeTap(), TraceCat::Io,
+        static_cast<std::uint16_t>(p.dom0Pcpu));
+    rxJobs.push_back(
+        RxJob{pkt, aggregate_leader, std::move(ready), token});
     if (rxPumpActive)
         return;
     rxPumpActive = true;
@@ -83,6 +89,8 @@ NetbackBackend::pumpRx(Cycles t)
     rxFresh = false;
     RxJob job = std::move(rxJobs.front());
     rxJobs.pop_front();
+    mach.trace().edgeIn(t, job.edgeToken, edgeWakeTap(), TraceCat::Io,
+                        static_cast<std::uint16_t>(p.dom0Pcpu));
     const Packet &pkt = job.pkt;
     auto ready = std::move(job.ready);
     const bool aggregate_leader = job.leader;

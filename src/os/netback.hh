@@ -122,6 +122,8 @@ class NetbackBackend
         Packet pkt;
         bool leader;
         std::function<void(Cycles)> ready;
+        /** Causal-edge token: NAPI handoff -> netback kthread. */
+        std::uint64_t edgeToken = 0;
     };
 
     /** Process one queued rx aggregate at the netback kthread's

@@ -1,6 +1,7 @@
 #include "os/vhost.hh"
 
 #include "os/kernel.hh"
+#include "sim/attrib.hh"
 #include "sim/log.hh"
 
 namespace virtsim {
@@ -47,8 +48,13 @@ VhostBackend::hostRxToGuest(Cycles t, const Packet &pkt,
             .inc(static_cast<std::uint64_t>(framesFor(pkt.bytes)));
         return;
     }
+    // Causal edge: the softirq-to-worker wakeup. Attribution links
+    // the handoff (and any worker queueing delay) across CPUs.
+    const std::uint64_t token = mach.trace().edgeOut(
+        at_tap, edgeWakeTap(), TraceCat::Io,
+        static_cast<std::uint16_t>(p.hostIrqPcpu));
     rxJobs.push_back(
-        RxJob{pkt, aggregate_leader, std::move(ready)});
+        RxJob{pkt, aggregate_leader, std::move(ready), token});
     if (rxPumpActive)
         return;
     rxPumpActive = true;
@@ -67,6 +73,8 @@ VhostBackend::pumpRx(Cycles t)
     RxJob job = std::move(rxJobs.front());
     rxJobs.pop_front();
     PhysicalCpu &worker = mach.cpu(p.workerPcpu);
+    mach.trace().edgeIn(t, job.edgeToken, edgeWakeTap(), TraceCat::Io,
+                        static_cast<std::uint16_t>(p.workerPcpu));
 
     // Worker fills a guest rx descriptor: zero copy, the payload
     // stays where the stack left it and the guest buffer is written

@@ -102,6 +102,8 @@ class VhostBackend
         Packet pkt;
         bool leader;
         std::function<void(Cycles)> ready;
+        /** Causal-edge token: softirq handoff -> worker pump. */
+        std::uint64_t edgeToken = 0;
     };
 
     /** Serialize rx work at the worker's actual execution time. */

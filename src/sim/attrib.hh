@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Streaming causal attribution over the trace-record stream.
+ *
+ * The paper's central argument is attribution, not absolute numbers:
+ * Table III explains KVM ARM's hypercall cost as a sum of register
+ * save/restore classes; Table II explains ARM-vs-x86 crossovers by
+ * which primitives each design eliminates; Table V decomposes a
+ * TCP_RR transaction into hypervisor-induced legs. This module turns
+ * the raw span/edge stream (sim/probe) into those explanatory
+ * artifacts mechanically:
+ *
+ *  - CausalAnalyzer consumes records *online* through TraceObserver,
+ *    so attribution never requires the ring to retain a whole run.
+ *    Per-track containment parenting (children are emitted before
+ *    their enclosing span, and lie inside its interval) rebuilds the
+ *    span hierarchy; cross-CPU edges (IPI flight, LR write-to-ack,
+ *    wire latency, backend wakeups) link tracks causally.
+ *  - BlameReport rolls self-time per primitive — trap legs, each
+ *    RegClass save/restore, GIC distributor vs LR maintenance,
+ *    stage-2 faults, backend copies — into name-keyed terms.
+ *  - diffBlame() ranks two SUTs' reports into a "why is A slower
+ *    than B" table, the machine-checked form of the paper's
+ *    crossover explanations.
+ *  - The folded-stack export feeds standard flamegraph tooling
+ *    (VIRTSIM_FLAME=out.folded).
+ *  - buildCausalGraph()/extractCriticalPath() reconstruct a single
+ *    operation's cross-CPU graph post hoc from the retained ring and
+ *    walk its latency-critical chain.
+ *
+ * Everything rendered here is keyed and sorted by tap *name*, never
+ * raw TapId — ids are interned in nondeterministic order under
+ * parallel sweeps, names are not — so all output is byte-identical
+ * across VIRTSIM_JOBS widths.
+ */
+
+#ifndef VIRTSIM_SIM_ATTRIB_HH
+#define VIRTSIM_SIM_ATTRIB_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/probe.hh"
+#include "sim/types.hh"
+
+namespace virtsim {
+
+/** @name Cross-CPU causal edge taps
+ *  Interned once; shared by every producer so the analyzer can name
+ *  edge blame uniformly.
+ */
+///@{
+TapId edgeIpiTap();  ///< "edge.ipi": IPI send -> delivery
+TapId edgeLrTap();   ///< "edge.lr": LR write -> guest ack
+TapId edgeWireTap(); ///< "edge.wire": NIC wire tx -> rx
+TapId edgeWakeTap(); ///< "edge.wake": backend queue -> worker pump
+///@}
+
+/** One attribution term: total self-cycles blamed on a primitive. */
+struct BlameTerm
+{
+    std::string name;          ///< tap name ("ws.save.VGIC Regs", ...)
+    Cycles cycles = 0;         ///< self time (children subtracted)
+    std::uint64_t count = 0;   ///< spans / edges contributing
+
+    friend bool operator==(const BlameTerm &,
+                           const BlameTerm &) = default;
+};
+
+/**
+ * Per-primitive cycle blame for one SUT run. Terms are stored sorted
+ * by name (deterministic); render() ranks by cycles for reading.
+ */
+struct BlameReport
+{
+    std::string label;            ///< SUT name ("kvm_arm", ...)
+    std::vector<BlameTerm> terms; ///< sorted by name
+
+    std::uint64_t operations = 0;    ///< guest-visible ops completed
+    std::uint64_t edgesLinked = 0;   ///< causal edges out->in paired
+    std::uint64_t edgesDangling = 0; ///< edges missing one end
+    std::uint64_t truncatedSpans = 0; ///< ring-wrap span losses
+
+    /** Total cycles attributed across all terms. */
+    Cycles attributed() const;
+
+    /** Term by exact name, or null. */
+    const BlameTerm *find(std::string_view name) const;
+
+    /** Highest-cycle term (ties broken by name), or null. */
+    const BlameTerm *top() const;
+
+    /** Ranked human-readable table (cycles descending). */
+    std::string render() const;
+
+    /** JSON object, terms name-sorted (byte-stable). */
+    std::string toJson() const;
+};
+
+/** One row of a differential report: A's vs B's cycles on a term. */
+struct DiffRow
+{
+    std::string name;
+    Cycles a = 0;
+    Cycles b = 0;
+
+    /** Positive: A spends more here than B. */
+    std::int64_t
+    delta() const
+    {
+        return static_cast<std::int64_t>(a) -
+               static_cast<std::int64_t>(b);
+    }
+};
+
+/**
+ * Ranked "why is A slower than B" table: the union of both reports'
+ * terms sorted by signed delta, largest A-excess first.
+ */
+struct DiffReport
+{
+    std::string aLabel;
+    std::string bLabel;
+    std::vector<DiffRow> rows; ///< delta descending, ties by name
+
+    /** Largest A-excess row, or null if empty. */
+    const DiffRow *top() const;
+
+    std::string render() const;
+};
+
+/** Diff two blame reports (A minus B). */
+DiffReport diffBlame(const BlameReport &a, const BlameReport &b);
+
+/**
+ * Streaming attribution engine. Attach to a sink with
+ * `sink.setObserver(&analyzer)`; it maintains per-track span stacks
+ * and a bounded pending window, assigns each completed span's self
+ * time (duration minus contained children) to its tap, folds stacks
+ * for flamegraph export, and times cross-CPU edges. Memory is
+ * bounded by track count and the pending cap, not run length.
+ *
+ * One analyzer per sink: sweep cells own their own Testbed, sink and
+ * analyzer, so reports are deterministic under VIRTSIM_JOBS > 1.
+ */
+class CausalAnalyzer : public TraceObserver
+{
+  public:
+    explicit CausalAnalyzer(std::string label = "");
+
+    void setLabel(std::string l) { _label = std::move(l); }
+    const std::string &label() const { return _label; }
+
+    void onTraceRecord(const TraceRecord &r) override;
+
+    /**
+     * Finalize pending state and build the report. May be called
+     * repeatedly (later calls see the same totals plus any records
+     * observed in between). @p sink, when given, contributes its
+     * truncated-span count.
+     */
+    BlameReport report(const TraceSink *sink = nullptr);
+
+    /** Write folded flamegraph stacks ("a;b;c cycles" lines, sorted
+     *  lexicographically). @p root prefixes every stack (typically
+     *  the SUT label). */
+    void writeFolded(std::ostream &os, const std::string &root = "");
+
+    /** writeFolded to a file. @return false if it failed to open. */
+    bool writeFoldedFile(const std::string &path,
+                         const std::string &root = "");
+
+    /** Forget all state (blame, folds, pending, edges). */
+    void reset();
+
+  private:
+    struct Fold
+    {
+        Cycles cycles = 0;
+        std::uint64_t count = 0;
+    };
+
+    /** Raw-id stack path -> accumulated self time. Rendered by name
+     *  (and re-sorted) only at export time. */
+    using FoldMap = std::map<std::vector<std::uint32_t>, Fold>;
+
+    struct Span
+    {
+        std::uint32_t tap = 0;
+        Cycles t0 = 0;
+        Cycles t1 = 0;
+        Cycles self = 0; ///< duration minus consumed children
+        FoldMap frags;   ///< descendant stacks, relative to this span
+    };
+
+    struct Open
+    {
+        std::uint32_t tap = 0;
+        Cycles t0 = 0;
+        std::uint64_t arg = 0;
+    };
+
+    struct Track
+    {
+        std::vector<Open> opens;    ///< Begin seen, End pending
+        std::vector<Span> pending;  ///< completed, awaiting a parent
+    };
+
+    struct EdgeOrigin
+    {
+        Cycles when = 0;
+        std::uint32_t tap = 0;
+    };
+
+    /** Pending spans kept per track before the oldest are flushed as
+     *  roots. Deep enough for any real nesting (ops nest ~4 deep);
+     *  bounds memory on pathological streams. */
+    static constexpr std::size_t pendingCap = 96;
+
+    /** Outstanding edge-origin cap; beyond it the oldest tokens are
+     *  dropped as dangling. */
+    static constexpr std::size_t edgeCap = 4096;
+
+    Track &track(std::uint16_t id);
+    void completeSpan(Track &tr, const TraceRecord &r);
+    void finalizeRoot(const Span &s);
+    void flushTrack(Track &tr, std::size_t keep);
+    void flushAll();
+
+    std::string _label;
+    std::map<std::uint16_t, Track> tracks;
+    std::map<std::uint64_t, EdgeOrigin> outstanding; ///< by token
+    std::map<std::uint32_t, BlameTerm> blame; ///< by raw tap id
+    FoldMap folded;
+    std::uint64_t _operations = 0;
+    std::uint64_t _edgesLinked = 0;
+    std::uint64_t _edgesDangling = 0;
+    std::uint64_t _unmatched = 0; ///< Ends with no open Begin
+};
+
+/**
+ * Post-hoc causal graph of one operation window, rebuilt from the
+ * retained ring (take a `sink.total()` watermark before the op and
+ * pass it as @p mark). Nodes are spans parented by per-track
+ * containment; edges pair EdgeOut/EdgeIn records by token and anchor
+ * into the innermost containing node on each side.
+ */
+struct CausalGraph
+{
+    struct Node
+    {
+        std::string name;
+        std::uint16_t track = noTrack;
+        Cycles t0 = 0;
+        Cycles t1 = 0;
+        int parent = -1; ///< index of innermost containing node
+        bool leaf = true;
+    };
+
+    struct Edge
+    {
+        std::string name;
+        std::uint64_t token = 0;
+        std::uint16_t fromTrack = noTrack;
+        std::uint16_t toTrack = noTrack;
+        Cycles out = 0;
+        Cycles in = 0;
+        int fromNode = -1;
+        int toNode = -1;
+    };
+
+    std::vector<Node> nodes;
+    std::vector<Edge> edges;
+};
+
+CausalGraph buildCausalGraph(const TraceSink &sink,
+                             std::uint64_t mark = 0);
+
+/** One hop of a critical path: a span, or an edge in flight (track
+ *  is the *destination* track for edges). */
+struct CriticalPathStep
+{
+    std::string name;
+    std::uint16_t track = noTrack;
+    Cycles t0 = 0;
+    Cycles t1 = 0;
+    bool isEdge = false;
+};
+
+/** The latency-critical chain ending at the last-finishing span. */
+struct CriticalPath
+{
+    std::vector<CriticalPathStep> steps; ///< chronological
+    Cycles span = 0;       ///< end.t1 - begin.t0
+    Cycles attributed = 0; ///< sum of step durations
+
+    Cycles
+    unattributed() const
+    {
+        return span > attributed ? span - attributed : 0;
+    }
+
+    std::string render() const;
+};
+
+/**
+ * Walk backward from the node with the greatest end time, hopping
+ * through causal edges onto the originating track and otherwise
+ * stepping to the latest-finishing predecessor on the same track.
+ */
+CriticalPath extractCriticalPath(const CausalGraph &g);
+
+} // namespace virtsim
+
+#endif // VIRTSIM_SIM_ATTRIB_HH

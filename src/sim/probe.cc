@@ -126,6 +126,8 @@ to_string(TraceCat cat)
         return "io";
       case TraceCat::Sched:
         return "sched";
+      case TraceCat::Op:
+        return "op";
     }
     return "?";
 }
@@ -209,7 +211,34 @@ writeChromeTrace(std::ostream &os, const TraceSink &sink,
         os << "\"}}";
     }
 
+    // Overflow is never silent: emit a warning instant so anyone
+    // reading the timeline sees that the ring wrapped and spans may
+    // have lost their opening edges.
+    if (sink.dropped() > 0) {
+        os << ",\n{\"ph\":\"i\",\"pid\":0,\"tid\":" << noTrack
+           << ",\"ts\":0.0000,\"s\":\"g\",\"name\":"
+              "\"trace_ring_overflow\",\"cat\":\"warning\","
+              "\"args\":{\"droppedRecords\":" << sink.dropped()
+           << ",\"truncatedSpans\":" << sink.truncatedSpans()
+           << "}}";
+    }
+
     sink.forEach([&os, &freq](const TraceRecord &r) {
+        // Causal edges render as Chrome flow events: an arrow from
+        // the EdgeOut record to the matching EdgeIn, tied by token.
+        if (r.kind == TraceKind::EdgeOut ||
+            r.kind == TraceKind::EdgeIn) {
+            const bool out = r.kind == TraceKind::EdgeOut;
+            os << ",\n{\"ph\":\"" << (out ? "s" : "f") << "\"";
+            if (!out)
+                os << ",\"bp\":\"e\"";
+            os << ",\"pid\":0,\"tid\":" << r.track
+               << ",\"ts\":" << formatUs(freq.us(r.when))
+               << ",\"id\":" << r.arg << ",\"name\":\""
+               << jsonEscape(tapName(r.tap)) << "\",\"cat\":\""
+               << to_string(r.cat) << "\"}";
+            return;
+        }
         const char *ph = r.kind == TraceKind::Begin ? "B"
                          : r.kind == TraceKind::End ? "E"
                                                     : "i";
@@ -223,7 +252,8 @@ writeChromeTrace(std::ostream &os, const TraceSink &sink,
     });
 
     os << "\n],\"otherData\":{\"recordCount\":" << sink.size()
-       << ",\"droppedRecords\":" << sink.dropped() << "}}\n";
+       << ",\"droppedRecords\":" << sink.dropped()
+       << ",\"truncatedSpans\":" << sink.truncatedSpans() << "}}\n";
 }
 
 bool
@@ -237,6 +267,22 @@ exportChromeTrace(const std::string &path, const TraceSink &sink,
     }
     writeChromeTrace(os, sink, freq, process);
     return true;
+}
+
+void
+Probe::syncTraceHealth()
+{
+    // Counter has no set(): top up to the current value so repeated
+    // syncs stay idempotent within a run (reset() zeroes both sides).
+    auto topUp = [this](const char *name, std::uint64_t target) {
+        if (target == 0)
+            return;
+        Counter &c = metrics.machine().counter(internTap(name));
+        if (target > c.value())
+            c.inc(target - c.value());
+    };
+    topUp("trace.dropped_records", trace.dropped());
+    topUp("trace.truncated_spans", trace.truncatedSpans());
 }
 
 void

@@ -88,12 +88,15 @@ std::string tapName(TapId tap);
 /** Number of interned taps (invalid id excluded). */
 std::size_t internedTapCount();
 
-/** Record shape: a point event or one end of a span. */
+/** Record shape: a point event, one end of a span, or one end of a
+ *  cross-CPU causal edge (arg carries the edge token). */
 enum class TraceKind : std::uint8_t
 {
     Instant,
     Begin,
     End,
+    EdgeOut, ///< causal edge leaves this track (IPI send, LR write)
+    EdgeIn,  ///< causal edge arrives on this track (delivery, ack)
 };
 
 /** Coarse category of a trace record (Perfetto "cat" field). */
@@ -104,6 +107,7 @@ enum class TraceCat : std::uint8_t
     Irq,    ///< interrupt delivery and list-register maintenance
     Io,     ///< virtio / grant-table / event-channel I/O
     Sched,  ///< event-kernel scheduling
+    Op,     ///< one guest-visible operation (hypercall, vIPI, I/O)
 };
 
 const char *to_string(TraceCat cat);
@@ -123,6 +127,20 @@ struct TraceRecord
 };
 
 static_assert(sizeof(TraceRecord) == 24, "TraceRecord grew");
+
+/**
+ * Streaming consumer of trace records. Attach one to a TraceSink with
+ * setObserver() to see every record as it is pushed — the basis of
+ * online analysis (sim/attrib) that never needs the ring to retain
+ * the whole run. Called only when the sink is enabled, on the thread
+ * doing the stamping (one sink per sweep worker, so no locking).
+ */
+class TraceObserver
+{
+  public:
+    virtual ~TraceObserver() = default;
+    virtual void onTraceRecord(const TraceRecord &r) = 0;
+};
 
 /**
  * Fixed-capacity ring buffer of trace records. Disabled by default:
@@ -156,13 +174,16 @@ class TraceSink
 
     std::size_t capacity() const { return cap; }
 
-    /** Drop all records and the dropped count; capacity and the
-     *  enabled flag are retained. */
+    /** Drop all records, the dropped/truncated counts and the edge
+     *  token sequence; capacity, the enabled flag and any attached
+     *  observer are retained. */
     void
     clear()
     {
         head = 0;
         _total = 0;
+        _truncated = 0;
+        edgeSeq = 0;
     }
 
     /** Records currently retained. */
@@ -181,6 +202,22 @@ class TraceSink
     {
         return _total > cap ? _total - cap : 0;
     }
+
+    /**
+     * Spans whose opening edge (a Begin, or the `from` stamp of a
+     * Tap pair) was overwritten by ring wrap. Post-hoc pairing such
+     * as between() would otherwise silently pair the surviving close
+     * with a *later* open; this counter makes that hazard visible —
+     * reports and the exporter surface it, and Probe::syncTraceHealth
+     * publishes it into the metrics snapshot.
+     */
+    std::uint64_t truncatedSpans() const { return _truncated; }
+
+    /** Attach (or detach, with nullptr) a streaming observer that
+     *  sees every record pushed while the sink is enabled. */
+    void setObserver(TraceObserver *o) { obs = o; }
+
+    TraceObserver *observer() const { return obs; }
 
     /** @name Stamping (hot path: branch + stores, no allocation) */
     ///@{
@@ -237,6 +274,39 @@ class TraceSink
         push(TraceRecord{t0, arg, tap, track, TraceKind::Begin, cat});
         push(TraceRecord{t1, arg, tap, track, TraceKind::End, cat});
     }
+
+    /**
+     * Open a cross-CPU causal edge (IPI send, LR write, wire tx,
+     * backend wakeup) and return its token. The token travels with
+     * the simulated payload and is redeemed by edgeIn() where the
+     * effect lands, linking spans on different tracks into one causal
+     * graph. Tokens are per-sink and monotonically increasing, reset
+     * by clear() — deterministic for a fixed workload.
+     * @return 0 when disabled (edgeIn ignores token 0).
+     */
+    std::uint64_t
+    edgeOut(Cycles when, TapId tap, TraceCat cat,
+            std::uint16_t track = noTrack)
+    {
+        if (!_enabled)
+            return 0;
+        const std::uint64_t token = ++edgeSeq;
+        push(TraceRecord{when, token, tap, track, TraceKind::EdgeOut,
+                         cat});
+        return token;
+    }
+
+    /** Close a causal edge where its effect lands. No-op for token 0
+     *  (edge opened while the sink was disabled). */
+    void
+    edgeIn(Cycles when, std::uint64_t token, TapId tap, TraceCat cat,
+           std::uint16_t track = noTrack)
+    {
+        if (!_enabled || token == 0)
+            return;
+        push(TraceRecord{when, token, tap, track, TraceKind::EdgeIn,
+                         cat});
+    }
     ///@}
 
     /** @name Analysis */
@@ -291,9 +361,22 @@ class TraceSink
     void
     push(const TraceRecord &r)
     {
+        if (_total >= cap) {
+            // About to overwrite: losing a span's opening edge makes
+            // post-hoc pairing unsound, so count it instead of
+            // letting between()/analysis mispair silently.
+            const TraceRecord &old = ring[head];
+            if (old.kind == TraceKind::Begin ||
+                (old.kind == TraceKind::Instant &&
+                 old.cat == TraceCat::Tap)) {
+                ++_truncated;
+            }
+        }
         ring[head] = r;
         head = (head + 1) & (cap - 1);
         ++_total;
+        if (obs)
+            obs->onTraceRecord(r);
     }
 
     /** Ring storage, allocated uninitialized: slots beyond size()
@@ -303,6 +386,9 @@ class TraceSink
     std::size_t cap = 0;     ///< ring capacity, power of two
     std::size_t head = 0;    ///< next write position
     std::uint64_t _total = 0; ///< records ever written
+    std::uint64_t _truncated = 0; ///< span opens lost to overwrite
+    std::uint64_t edgeSeq = 0;    ///< last edge token issued
+    TraceObserver *obs = nullptr; ///< streaming consumer, not owned
     bool _enabled = false;
 };
 
@@ -518,6 +604,15 @@ struct Probe
         metrics.reset();
         profiler.reset();
     }
+
+    /**
+     * Publish trace-ring health (dropped records, truncated spans)
+     * into machine-domain counters so a metrics snapshot carries the
+     * loss alongside the numbers it may have biased. Counters are
+     * only created when the count is nonzero — clean runs snapshot
+     * byte-identically with or without this call.
+     */
+    void syncTraceHealth();
 };
 
 } // namespace virtsim

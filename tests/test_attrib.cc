@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Tests for the causal attribution engine (sim/attrib): cross-CPU
+ * edge linking, critical-path extraction on a hand-built trace with
+ * known blame totals, differential report sign and ordering, the
+ * Table III exactness contract, and byte-identical reports across
+ * sweep widths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/hypercall_breakdown.hh"
+#include "core/microbench.hh"
+#include "core/testbed.hh"
+#include "sim/attrib.hh"
+#include "sim/sweep.hh"
+
+using namespace virtsim;
+
+TEST(CausalAnalyzer, HandBuiltTwoCpuTraceHasKnownBlameAndPath)
+{
+    // Track 0 runs a root span with one child; the child's completion
+    // launches work onto track 1 through a causal edge:
+    //
+    //   cpu0: root  [100......................200]
+    //   cpu0:    child [120..150]
+    //   cpu0:              `~~ edge (20 cy) ~~.
+    //   cpu1:                            remote [170........260]
+    const TapId root = internTap("attrib.test.root");
+    const TapId child = internTap("attrib.test.child");
+    const TapId remote = internTap("attrib.test.remote");
+
+    TraceSink sink;
+    CausalAnalyzer an("hand-built");
+    sink.setObserver(&an);
+    sink.enable();
+
+    sink.begin(100, root, TraceCat::Switch, 0);
+    sink.begin(120, child, TraceCat::Switch, 0);
+    sink.end(150, child, TraceCat::Switch, 0);
+    const std::uint64_t token =
+        sink.edgeOut(150, edgeIpiTap(), TraceCat::Irq, 0);
+    EXPECT_NE(token, 0u);
+    sink.end(200, root, TraceCat::Switch, 0);
+    sink.edgeIn(170, token, edgeIpiTap(), TraceCat::Irq, 1);
+    sink.span(170, 260, remote, TraceCat::Switch, 1);
+
+    const BlameReport rep = an.report(&sink);
+    // Self times: child 30, root 100 - 30 = 70, remote 90, the IPI
+    // flight 20 — exact, no heuristics.
+    ASSERT_NE(rep.find("attrib.test.child"), nullptr);
+    EXPECT_EQ(rep.find("attrib.test.child")->cycles, 30u);
+    EXPECT_EQ(rep.find("attrib.test.root")->cycles, 70u);
+    EXPECT_EQ(rep.find("attrib.test.remote")->cycles, 90u);
+    ASSERT_NE(rep.find("edge.ipi"), nullptr);
+    EXPECT_EQ(rep.find("edge.ipi")->cycles, 20u);
+    EXPECT_EQ(rep.edgesLinked, 1u);
+    EXPECT_EQ(rep.edgesDangling, 0u);
+    EXPECT_EQ(rep.truncatedSpans, 0u);
+
+    // The post-hoc graph parents child under root and anchors the
+    // edge child -> remote; the critical path walks remote back over
+    // the edge onto cpu0, covering the window completely.
+    const CausalGraph g = buildCausalGraph(sink);
+    ASSERT_EQ(g.nodes.size(), 3u);
+    ASSERT_EQ(g.edges.size(), 1u);
+    EXPECT_EQ(g.edges[0].fromTrack, 0);
+    EXPECT_EQ(g.edges[0].toTrack, 1);
+    EXPECT_GE(g.edges[0].fromNode, 0);
+    EXPECT_GE(g.edges[0].toNode, 0);
+
+    const CriticalPath path = extractCriticalPath(g);
+    ASSERT_EQ(path.steps.size(), 3u);
+    EXPECT_EQ(path.steps[0].name, "attrib.test.child");
+    EXPECT_TRUE(path.steps[1].isEdge);
+    EXPECT_EQ(path.steps[1].name, "edge.ipi");
+    EXPECT_EQ(path.steps[2].name, "attrib.test.remote");
+    EXPECT_EQ(path.span, 140u);       // 260 - 120
+    EXPECT_EQ(path.attributed, 140u); // 30 + 20 + 90
+    EXPECT_EQ(path.unattributed(), 0u);
+    EXPECT_NE(path.render().find("~>"), std::string::npos);
+}
+
+TEST(CausalAnalyzer, VirtualIpiLinksCrossCpuEdges)
+{
+    // A live virtual IPI on KVM ARM: the physical IPI (send ->
+    // delivery) and the LR write -> guest ack must both pair up, and
+    // the op envelope must finalize.
+    Testbed tb(TestbedConfig{.kind = SutKind::KvmArm});
+    CausalAnalyzer &an = tb.attribution();
+    tb.beginRun();
+
+    const Cycles t0 = std::max(tb.queue().now(), tb.frontier(0));
+    bool done = false;
+    tb.hypervisor()->virtualIpi(t0, tb.guest()->vcpu(0),
+                                tb.guest()->vcpu(1),
+                                [&done](Cycles) { done = true; });
+    tb.run();
+    ASSERT_TRUE(done);
+
+    const BlameReport rep = an.report(&tb.trace());
+    EXPECT_GE(rep.operations, 1u);
+    EXPECT_GE(rep.edgesLinked, 2u); // edge.ipi + edge.lr at least
+    const BlameTerm *ipi = rep.find("edge.ipi");
+    ASSERT_NE(ipi, nullptr);
+    EXPECT_GE(ipi->count, 1u);
+    const BlameTerm *lr = rep.find("edge.lr");
+    ASSERT_NE(lr, nullptr);
+    EXPECT_GE(lr->count, 1u);
+    const BlameTerm *op = rep.find("op.vipi");
+    ASSERT_NE(op, nullptr);
+    EXPECT_EQ(op->count, 1u);
+}
+
+TEST(CausalAnalyzer, BlameReproducesTableThreeExactly)
+{
+    // The streaming analyzer and the direct trace-record aggregation
+    // must attribute identical per-class cycles to the same
+    // hypercall — the Table III contract.
+    Testbed tb(TestbedConfig{.kind = SutKind::KvmArm});
+    CausalAnalyzer &an = tb.attribution();
+    const HypercallBreakdown b = measureHypercallBreakdown(tb);
+    const BlameReport rep = an.report(&tb.trace());
+
+    ASSERT_FALSE(b.rows.empty());
+    for (const auto &row : b.rows) {
+        const BlameTerm *s =
+            rep.find("ws.save." + to_string(row.cls));
+        const BlameTerm *r =
+            rep.find("ws.restore." + to_string(row.cls));
+        ASSERT_NE(s, nullptr) << to_string(row.cls);
+        ASSERT_NE(r, nullptr) << to_string(row.cls);
+        EXPECT_EQ(s->cycles, row.save) << to_string(row.cls);
+        EXPECT_EQ(r->cycles, row.restore) << to_string(row.cls);
+    }
+    // The published headline number.
+    const BlameTerm *vgic = rep.find("ws.save.VGIC Regs");
+    ASSERT_NE(vgic, nullptr);
+    EXPECT_EQ(vgic->cycles, 3250u);
+    // Every cycle of the operation lands in some term: op envelope
+    // self + children sum to the measured hypercall.
+    EXPECT_EQ(rep.attributed(), b.hypercallCycles);
+}
+
+TEST(DiffReport, SignAndOrderingAreExact)
+{
+    BlameReport a, b;
+    a.label = "A";
+    b.label = "B";
+    a.terms = {{"x.big", 1000, 1}, {"x.equal", 50, 1},
+               {"x.small", 10, 1}};
+    b.terms = {{"x.big", 100, 1}, {"x.equal", 50, 1},
+               {"x.only_b", 400, 1}};
+
+    const DiffReport d = diffBlame(a, b);
+    ASSERT_EQ(d.rows.size(), 4u);
+    // Rows ranked by signed delta, largest A-excess first; terms
+    // missing on one side contribute zero there.
+    EXPECT_EQ(d.rows[0].name, "x.big");
+    EXPECT_EQ(d.rows[0].delta(), 900);
+    EXPECT_EQ(d.rows[1].name, "x.small");
+    EXPECT_EQ(d.rows[1].delta(), 10);
+    EXPECT_EQ(d.rows[2].name, "x.equal");
+    EXPECT_EQ(d.rows[2].delta(), 0);
+    EXPECT_EQ(d.rows[3].name, "x.only_b");
+    EXPECT_EQ(d.rows[3].delta(), -400);
+    ASSERT_NE(d.top(), nullptr);
+    EXPECT_EQ(d.top()->name, "x.big");
+    EXPECT_NE(d.render().find("why is A slower than B"),
+              std::string::npos);
+}
+
+TEST(DiffReport, VheDifferentialNamesSaveRestoreElimination)
+{
+    // Section VI machine-checked: diffing KVM ARM against VHE on the
+    // same hypercall must rank a world-switch save/restore term as
+    // the top A-excess — VHE's win is eliminating state movement.
+    auto blame_for = [](SutKind kind) {
+        TestbedConfig tc;
+        tc.kind = kind;
+        Testbed tb(tc);
+        CausalAnalyzer &an = tb.attribution();
+        an.setLabel(to_string(kind));
+        measureHypercallBreakdown(tb);
+        return an.report(&tb.trace());
+    };
+    const BlameReport arm = blame_for(SutKind::KvmArm);
+    const BlameReport vhe = blame_for(SutKind::KvmArmVhe);
+    const DiffReport d = diffBlame(arm, vhe);
+    ASSERT_NE(d.top(), nullptr);
+    EXPECT_GT(d.top()->delta(), 0);
+    EXPECT_EQ(d.top()->name.rfind("ws.", 0), 0u) << d.top()->name;
+}
+
+TEST(CausalAnalyzer, ReportsAreIdenticalAcrossSweepWidths)
+{
+    // Raw TapIds intern in nondeterministic order under parallel
+    // sweeps; reports are keyed and sorted by name, so the rendered
+    // JSON must come out byte-identical for any VIRTSIM_JOBS width.
+    const std::vector<SutKind> kinds = {
+        SutKind::KvmArm, SutKind::XenArm, SutKind::KvmX86,
+        SutKind::KvmArmVhe};
+    auto run_cols = [&kinds](int jobs) {
+        return parallelSweepIndexed(
+            kinds.size(),
+            [&kinds](std::size_t i) {
+                TestbedConfig tc;
+                tc.kind = kinds[i];
+                Testbed tb(tc);
+                CausalAnalyzer &an = tb.attribution();
+                an.setLabel(to_string(tc.kind));
+                MicrobenchSuite suite(tb);
+                suite.run(MicroOp::Hypercall, 10);
+                suite.run(MicroOp::VirtualIpi, 10);
+                return an.report(&tb.trace()).toJson();
+            },
+            jobs);
+    };
+    const auto serial = run_cols(1);
+    const auto wide = run_cols(8);
+    ASSERT_EQ(serial.size(), wide.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_FALSE(serial[i].empty());
+        EXPECT_EQ(serial[i], wide[i]) << "column " << i;
+    }
+}
+
+TEST(CausalAnalyzer, FoldedExportIsSortedAndResetForgets)
+{
+    const TapId outer = internTap("attrib.test.fold.outer");
+    const TapId inner = internTap("attrib.test.fold.inner");
+    TraceSink sink;
+    CausalAnalyzer an;
+    sink.setObserver(&an);
+    sink.enable();
+    sink.begin(0, outer, TraceCat::Switch, 0);
+    sink.span(10, 40, inner, TraceCat::Switch, 0);
+    sink.end(100, outer, TraceCat::Switch, 0);
+
+    std::ostringstream os;
+    an.writeFolded(os, "sut");
+    const std::string folded = os.str();
+    // Root-prefixed, child stacked under parent, self cycles after
+    // the path.
+    EXPECT_NE(folded.find("sut;attrib.test.fold.outer 70"),
+              std::string::npos);
+    EXPECT_NE(folded.find("sut;attrib.test.fold.outer;"
+                          "attrib.test.fold.inner 30"),
+              std::string::npos);
+
+    an.reset();
+    const BlameReport rep = an.report();
+    EXPECT_TRUE(rep.terms.empty());
+    EXPECT_EQ(rep.operations, 0u);
+}

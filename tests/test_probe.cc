@@ -229,6 +229,144 @@ TEST(TraceSink, RingWrapIsCountedNeverSilent)
     EXPECT_EQ(seen[1], 9u);
 }
 
+TEST(TraceSink, TruncatedSpansAreCountedNotMispaired)
+{
+    // When the ring wraps over a span's opening edge (a Begin, or the
+    // `from` stamp of a tap pair), post-hoc pairing would silently
+    // match the surviving close against a later open. The sink counts
+    // each such loss instead.
+    const TapId span_tap = internTap("probe.test.trunc.span");
+    const TapId pair_tap = internTap("probe.test.trunc.pair");
+    const TapId filler = internTap("probe.test.trunc.fill");
+    TraceSink sink;
+    sink.setCapacity(4);
+    sink.enable();
+
+    sink.begin(0, span_tap, TraceCat::Switch, 0); // will be overwritten
+    sink.stamp(1, 7, pair_tap);                   // will be overwritten
+    EXPECT_EQ(sink.truncatedSpans(), 0u);
+    for (Cycles t = 2; t < 8; ++t)
+        sink.instant(t, filler, TraceCat::Sched); // harmless filler
+    // The Begin and the Tap stamp were each overwritten once; the
+    // overwritten Sched instants carry no pairing and don't count.
+    EXPECT_EQ(sink.truncatedSpans(), 2u);
+    EXPECT_GT(sink.dropped(), 0u);
+
+    // clear() resets the count with the rest of the run state.
+    sink.clear();
+    EXPECT_EQ(sink.truncatedSpans(), 0u);
+    EXPECT_EQ(sink.dropped(), 0u);
+}
+
+TEST(TraceSink, ExporterWarnsOnOverflow)
+{
+    const TapId tap = internTap("probe.test.overflow.warn");
+    TraceSink sink;
+    sink.setCapacity(2);
+    sink.enable();
+    sink.begin(0, tap, TraceCat::Switch, 0);
+    for (Cycles t = 1; t < 6; ++t)
+        sink.instant(t, tap, TraceCat::Sched);
+
+    std::ostringstream os;
+    writeChromeTrace(os, sink, Frequency(2.4));
+    const std::string json = os.str();
+    // A metadata instant flags the loss for anyone reading the trace
+    // in the Perfetto UI, alongside the summary counts.
+    EXPECT_NE(json.find("trace_ring_overflow"), std::string::npos);
+    EXPECT_NE(json.find("\"truncatedSpans\":1"), std::string::npos);
+
+    // A sink that never dropped emits no warning event.
+    TraceSink clean;
+    clean.enable();
+    clean.instant(1, tap, TraceCat::Sched);
+    std::ostringstream os2;
+    writeChromeTrace(os2, clean, Frequency(2.4));
+    EXPECT_EQ(os2.str().find("trace_ring_overflow"),
+              std::string::npos);
+}
+
+TEST(Probe, SyncTraceHealthPublishesLossCounters)
+{
+    const TapId tap = internTap("probe.test.health");
+    Probe probe;
+    probe.trace.setCapacity(2);
+    probe.trace.enable();
+
+    // Clean runs add no counters: snapshots stay byte-identical with
+    // or without the sync.
+    probe.trace.instant(1, tap, TraceCat::Sched);
+    probe.syncTraceHealth();
+    EXPECT_TRUE(probe.metrics.snapshot().counters.empty());
+
+    probe.trace.begin(2, tap, TraceCat::Switch, 0);
+    for (Cycles t = 3; t < 9; ++t)
+        probe.trace.instant(t, tap, TraceCat::Sched);
+    probe.syncTraceHealth();
+    const MetricsSnapshot snap = probe.metrics.snapshot();
+    bool saw_dropped = false, saw_truncated = false;
+    for (const auto &c : snap.counters) {
+        if (c.name == "trace.dropped_records") {
+            EXPECT_EQ(c.value, probe.trace.dropped());
+            saw_dropped = true;
+        }
+        if (c.name == "trace.truncated_spans") {
+            EXPECT_EQ(c.value, probe.trace.truncatedSpans());
+            saw_truncated = true;
+        }
+    }
+    EXPECT_TRUE(saw_dropped);
+    EXPECT_TRUE(saw_truncated);
+
+    // Repeated syncs are idempotent (top-up, not re-add).
+    probe.syncTraceHealth();
+    EXPECT_EQ(probe.metrics.snapshot(), snap);
+}
+
+TEST(TraceSink, CapacityEnvKnobSizesTestbedRing)
+{
+    // VIRTSIM_TRACE_CAPACITY resizes the testbed's ring before the
+    // sink is enabled (rounded up to the next power of two).
+    ::setenv("VIRTSIM_TRACE_CAPACITY", "3000", 1);
+    {
+        Testbed tb(TestbedConfig{.kind = SutKind::KvmArm});
+        EXPECT_EQ(tb.trace().capacity(), 4096u);
+    }
+    ::unsetenv("VIRTSIM_TRACE_CAPACITY");
+    {
+        Testbed tb(TestbedConfig{.kind = SutKind::KvmArm});
+        EXPECT_EQ(tb.trace().capacity(), 0u); // not enabled, unsized
+    }
+}
+
+TEST(TraceSink, EdgeRecordsCarryTokensAndExport)
+{
+    const TapId tap = internTap("probe.test.edge");
+    TraceSink sink;
+    sink.enable();
+    const std::uint64_t t1 = sink.edgeOut(100, tap, TraceCat::Irq, 0);
+    const std::uint64_t t2 = sink.edgeOut(110, tap, TraceCat::Irq, 0);
+    EXPECT_NE(t1, 0u);
+    EXPECT_EQ(t2, t1 + 1); // per-sink monotonic
+    sink.edgeIn(150, t1, tap, TraceCat::Irq, 1);
+    sink.edgeIn(0, 0, tap, TraceCat::Irq, 1); // token 0: no-op
+    EXPECT_EQ(sink.size(), 3u);
+
+    std::ostringstream os;
+    writeChromeTrace(os, sink, Frequency(2.4));
+    const std::string json = os.str();
+    // Chrome flow events: "s" (start) paired with "f" (finish) by id.
+    EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+    JsonChecker checker(json);
+    EXPECT_TRUE(checker.valid()) << json;
+
+    // clear() restarts the token sequence with the rest of the state.
+    sink.clear();
+    sink.enable();
+    EXPECT_EQ(sink.edgeOut(10, tap, TraceCat::Irq, 0), 1u);
+}
+
 TEST(TraceSink, NestedSpansPairLikeAStack)
 {
     const TapId outer = internTap("probe.test.outer");
