@@ -31,8 +31,8 @@ hypercallCycles(SutKind kind)
 {
     TestbedConfig tc;
     tc.kind = kind;
-    Testbed tb(tc);
-    MicrobenchSuite suite(tb);
+    TestbedLease tb = acquireTestbed(tc);
+    MicrobenchSuite suite(*tb);
     return suite.run(MicroOp::Hypercall, 20).cycles.mean();
 }
 
@@ -42,6 +42,8 @@ hypercallCyclesFastVgic()
 {
     TestbedConfig tc;
     tc.kind = SutKind::KvmArm;
+    // Not acquireTestbed(): the cost-table patch below would leak
+    // into cached same-config worlds.
     Testbed tb(tc);
     auto *kvm = dynamic_cast<KvmArm *>(tb.hypervisor());
     // What if reading back VGIC state cost no more than system

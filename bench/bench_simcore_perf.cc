@@ -18,6 +18,7 @@
 #include "core/testbed.hh"
 #include "hv/world_switch.hh"
 #include "sim/event_queue.hh"
+#include "sim/probe.hh"
 #include "sim/sweep.hh"
 
 using namespace virtsim;
@@ -205,6 +206,58 @@ BM_Figure4SweepParallel(benchmark::State &state)
     figure4Sweep(state, sweepJobs() > 1 ? sweepJobs() : 4);
 }
 BENCHMARK(BM_Figure4SweepParallel)->Unit(benchmark::kMillisecond);
+
+/** Repeated small sweeps over a fixed configuration set: the
+ *  persistent-pool + testbed-cache case. After the first iteration
+ *  every cell is a pool-thread wake plus a Testbed::reset() instead
+ *  of a thread spawn plus full world construction. */
+void
+BM_SweepPoolReuse(benchmark::State &state)
+{
+    setenv("VIRTSIM_JOBS", "4", 1);
+    const std::vector<SutKind> kinds = {
+        SutKind::KvmArm, SutKind::XenArm,
+        SutKind::KvmX86, SutKind::XenX86};
+    for (auto _ : state) {
+        const auto cells = parallelSweep(kinds, [](SutKind kind) {
+            TestbedConfig tc;
+            tc.kind = kind;
+            TestbedLease tb = acquireTestbed(tc);
+            MicrobenchSuite suite(*tb);
+            return suite.run(MicroOp::Hypercall, 20).cycles.mean();
+        });
+        benchmark::DoNotOptimize(cells.data());
+    }
+    unsetenv("VIRTSIM_JOBS");
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(kinds.size()));
+}
+BENCHMARK(BM_SweepPoolReuse)->Unit(benchmark::kMillisecond);
+
+/** The dead-probe fast path: stamping against a disabled sink must
+ *  cost one predictable branch per call (and allocate nothing — the
+ *  tests assert that part). This is the per-event overhead every
+ *  un-traced sweep cell pays. */
+void
+BM_DeadProbeStamp(benchmark::State &state)
+{
+    TraceSink sink; // never enabled
+    const TapId tap = internTap("bench.deadprobe");
+    Cycles t = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 1000; ++i) {
+            ++t;
+            sink.stamp(t, 1, tap);
+            sink.span(t, t + 2, tap, TraceCat::Op);
+            sink.edgeIn(t, sink.edgeOut(t, tap, TraceCat::Irq), tap,
+                        TraceCat::Irq);
+        }
+        benchmark::DoNotOptimize(t);
+    }
+    // Four stamping calls per inner loop turn.
+    state.SetItemsProcessed(state.iterations() * 4000);
+}
+BENCHMARK(BM_DeadProbeStamp);
 
 } // namespace
 

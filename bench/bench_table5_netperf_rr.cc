@@ -60,12 +60,12 @@ main()
         (void)paper;
         TestbedConfig tc;
         tc.kind = kind;
-        Testbed tb(tc);
-        CausalAnalyzer &an = tb.attribution();
+        TestbedLease tb = acquireTestbed(tc);
+        CausalAnalyzer &an = tb->attribution();
         an.setLabel(to_string(kind));
-        results.push_back(runNetperfRr(tb));
-        briefs.push_back(tb.metrics().snapshot().brief());
-        blames.push_back(an.report(&tb.trace()));
+        results.push_back(runNetperfRr(*tb));
+        briefs.push_back(tb->metrics().snapshot().brief());
+        blames.push_back(an.report(&tb->trace()));
     }
 
     TextTable table({"", "Native", "KVM", "Xen"});

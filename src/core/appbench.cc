@@ -39,14 +39,16 @@ runAppBenchRow(Workload &w, const AppBenchOptions &opt)
     }
 
     if (need_arm) {
-        Testbed tb(configFor(SutKind::Native, opt));
-        row.nativeScoreArm = w.run(tb);
+        TestbedLease tb =
+            acquireTestbed(configFor(SutKind::Native, opt));
+        row.nativeScoreArm = w.run(*tb);
         VIRTSIM_ASSERT(row.nativeScoreArm > 0,
                        w.name(), ": zero native ARM score");
     }
     if (need_x86) {
-        Testbed tb(configFor(SutKind::NativeX86, opt));
-        row.nativeScoreX86 = w.run(tb);
+        TestbedLease tb =
+            acquireTestbed(configFor(SutKind::NativeX86, opt));
+        row.nativeScoreX86 = w.run(*tb);
         VIRTSIM_ASSERT(row.nativeScoreX86 > 0,
                        w.name(), ": zero native x86 score");
     }
@@ -61,9 +63,9 @@ runAppBenchRow(Workload &w, const AppBenchOptions &opt)
             row.cells.push_back(cell);
             continue;
         }
-        Testbed tb(configFor(k, opt));
-        cell.score = w.run(tb);
-        cell.metricsBrief = tb.metrics().snapshot().brief();
+        TestbedLease tb = acquireTestbed(configFor(k, opt));
+        cell.score = w.run(*tb);
+        cell.metricsBrief = tb->metrics().snapshot().brief();
         const double native = archOf(k) == Arch::Arm
                                   ? row.nativeScoreArm
                                   : row.nativeScoreX86;

@@ -214,18 +214,23 @@ MicrobenchSuite::runAll(int iterations)
 }
 
 std::vector<MicroSweepColumn>
-runMicrobenchSweep(const std::vector<SutKind> &kinds, int iterations)
+runMicrobenchSweep(const std::vector<SutKind> &kinds, int iterations,
+                   bool attribution)
 {
-    return parallelSweep(kinds, [iterations](SutKind kind) {
+    return parallelSweep(kinds, [iterations, attribution](SutKind kind) {
         TestbedConfig tc;
         tc.kind = kind;
-        Testbed tb(tc);
-        CausalAnalyzer &an = tb.attribution();
-        an.setLabel(to_string(kind));
-        MicrobenchSuite suite(tb);
+        TestbedLease tb = acquireTestbed(tc);
+        CausalAnalyzer *an = nullptr;
+        if (attribution) {
+            an = &tb->attribution();
+            an->setLabel(to_string(kind));
+        }
+        MicrobenchSuite suite(*tb);
         MicroSweepColumn col{kind, suite.runAll(iterations), {}, {}};
-        col.metrics = tb.metrics().snapshot();
-        col.blame = an.report(&tb.trace());
+        col.metrics = tb->metrics().snapshot();
+        if (an)
+            col.blame = an->report(&tb->trace());
         return col;
     });
 }

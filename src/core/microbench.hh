@@ -77,10 +77,16 @@ struct MicroSweepColumn
  * independent testbed per column, farmed out across host threads
  * (sim/sweep.hh; VIRTSIM_JOBS controls the width). Columns come back
  * in input order and are byte-identical to a serial run.
+ *
+ * Attribution (the per-column BlameReport) is pay-for-what-you-ask:
+ * with attribution=false the columns' blame reports stay empty and
+ * the probe stamping inside each cell remains on its dead-probe fast
+ * path. Cycle results and metrics snapshots are identical either way
+ * — observability never alters simulated timing.
  */
 std::vector<MicroSweepColumn>
 runMicrobenchSweep(const std::vector<SutKind> &kinds,
-                   int iterations = 50);
+                   int iterations = 50, bool attribution = false);
 
 /**
  * Runs the microbenchmark suite against one virtualized testbed.

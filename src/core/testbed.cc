@@ -104,10 +104,8 @@ Testbed::Testbed(TestbedConfig config)
             server->trace().setCapacity(static_cast<std::size_t>(n));
     }
     if (const char *p = std::getenv("VIRTSIM_TRACE")) {
-        if (*p) {
+        if (*p)
             tracePath = p;
-            server->trace().enable();
-        }
     }
     if (const char *p = std::getenv("VIRTSIM_METRICS")) {
         if (*p)
@@ -117,11 +115,19 @@ Testbed::Testbed(TestbedConfig config)
     // and writes a folded-stack file (flamegraph.pl input) at
     // teardown.
     if (const char *p = std::getenv("VIRTSIM_FLAME")) {
-        if (*p) {
+        if (*p)
             flamePath = p;
-            attribution();
-        }
     }
+    applyObservability();
+}
+
+void
+Testbed::applyObservability()
+{
+    if (!tracePath.empty())
+        server->trace().enable();
+    if (!flamePath.empty())
+        attribution();
     if (!tracePath.empty() || !metricsPath.empty() || !flamePath.empty())
         eq.setProfiler(&server->probe().profiler);
 }
@@ -182,11 +188,13 @@ Testbed::~Testbed()
 CausalAnalyzer &
 Testbed::attribution()
 {
-    if (!_attrib) {
+    if (!_attrib)
         _attrib = std::make_unique<CausalAnalyzer>();
-        server->trace().enable();
-        server->trace().setObserver(_attrib.get());
-    }
+    // (Re)attach every call, not just on creation: reset() detaches
+    // the analyzer and disables the sink to restore the fresh state,
+    // and the next attribution() user must get a live pipeline again.
+    server->trace().enable();
+    server->trace().setObserver(_attrib.get());
     return *_attrib;
 }
 
@@ -197,6 +205,44 @@ Testbed::beginRun()
     server->probe().reset();
     if (_attrib)
         _attrib->reset();
+}
+
+void
+Testbed::reset()
+{
+    // Order matters: the hypervisor references the machine, so tear
+    // it down before rewinding machine state. Pending events may hold
+    // captures pointing at the old hypervisor; dropping them via
+    // eq.reset() only runs capture destructors, never the callbacks.
+    hv.reset();
+    guestVm = nullptr;
+    eq.reset();
+    server->reset();
+
+    // An attribution() user enabled the sink and attached the
+    // analyzer; a fresh testbed has neither. (Machine::reset leaves
+    // the sink's wiring alone precisely so this stays the testbed's
+    // call.)
+    server->trace().setObserver(nullptr);
+    server->trace().disable();
+    if (_attrib)
+        _attrib->reset();
+
+    rng = Random(cfg.seed);
+    txSeq = 0;
+    onHostRx = nullptr;
+    onVmRx = nullptr;
+    onClientRx = nullptr;
+    for (auto &q : nativeIpiDone)
+        q.clear();
+
+    // The wire, its endpoints, and the NIC's onWireTx hook capture
+    // `this` and survive as-is; only the world on top is rebuilt.
+    if (isVirtualized(cfg.kind))
+        buildVirtualized();
+    else
+        buildNative();
+    applyObservability();
 }
 
 void
@@ -415,6 +461,112 @@ void
 Testbed::clientSend(Cycles t, const Packet &pkt)
 {
     wire_->sendToServer(t, pkt);
+}
+
+namespace {
+
+/**
+ * Per-thread testbed cache. thread_local so sweep workers — which
+ * persist across sweeps — each keep their own worlds and never
+ * contend; a worker revisiting a sweep cell with an equal config
+ * resets instead of reconstructing. Entries are held by unique_ptr so
+ * Testbed addresses handed out in leases survive vector growth and
+ * eviction of *other* entries.
+ */
+struct CacheEntry
+{
+    TestbedConfig cfg;
+    std::unique_ptr<Testbed> tb;
+    bool inUse = false;       ///< leased out right now
+    std::uint64_t lastUse = 0; ///< for LRU eviction
+};
+
+struct TestbedCache
+{
+    std::vector<std::unique_ptr<CacheEntry>> entries;
+    std::uint64_t tick = 0;
+    TestbedCacheStats stats;
+};
+
+thread_local TestbedCache tl_cache;
+
+/** Worlds kept per thread; enough for one SUT-kind sweep axis (seven
+ *  kinds) plus an ablation variant without eviction churn. */
+constexpr std::size_t cacheCapacity = 8;
+
+} // namespace
+
+TestbedCacheStats
+testbedCacheStats()
+{
+    return tl_cache.stats;
+}
+
+bool
+testbedCacheEnabled()
+{
+    const auto isSet = [](const char *name) {
+        const char *v = std::getenv(name);
+        return v && *v;
+    };
+    // Export happens in ~Testbed; cached worlds in persistent pool
+    // workers would only be destroyed at process teardown, so
+    // observability runs always cold-build (and stay byte-identical
+    // to pre-cache behaviour).
+    if (isSet("VIRTSIM_TRACE") || isSet("VIRTSIM_METRICS") ||
+        isSet("VIRTSIM_FLAME")) {
+        return false;
+    }
+    if (const char *v = std::getenv("VIRTSIM_POOL_CACHE"))
+        return !(v[0] == '0' && v[1] == '\0');
+    return true;
+}
+
+TestbedLease
+acquireTestbed(const TestbedConfig &cfg)
+{
+    if (!testbedCacheEnabled())
+        return TestbedLease(std::make_unique<Testbed>(cfg));
+
+    TestbedCache &cache = tl_cache;
+    ++cache.tick;
+    for (auto &e : cache.entries) {
+        if (!e->inUse && e->cfg == cfg) {
+            ++cache.stats.hits;
+            e->inUse = true;
+            e->lastUse = cache.tick;
+            e->tb->reset();
+            return TestbedLease(e->tb.get(), &e->inUse);
+        }
+    }
+
+    ++cache.stats.misses;
+    if (cache.entries.size() >= cacheCapacity) {
+        // Evict the least-recently-used idle entry. If every entry is
+        // leased (nested acquires of 8+ distinct configs), grow past
+        // capacity rather than fail.
+        auto victim = cache.entries.end();
+        for (auto it = cache.entries.begin(); it != cache.entries.end();
+             ++it) {
+            if ((*it)->inUse)
+                continue;
+            if (victim == cache.entries.end() ||
+                (*it)->lastUse < (*victim)->lastUse) {
+                victim = it;
+            }
+        }
+        if (victim != cache.entries.end())
+            cache.entries.erase(victim);
+    }
+
+    auto entry = std::make_unique<CacheEntry>();
+    entry->cfg = cfg;
+    entry->tb = std::make_unique<Testbed>(cfg);
+    entry->inUse = true;
+    entry->lastUse = cache.tick;
+    cache.entries.push_back(std::move(entry));
+    CacheEntry &e = *cache.entries.back();
+    return TestbedLease(e.tb.get(), &e.inUse);
 }
 
 } // namespace virtsim

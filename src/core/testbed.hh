@@ -77,6 +77,10 @@ struct TestbedConfig
     bool tsoRegression = true;
     /** PRNG seed; equal seeds give bit-identical runs. */
     std::uint64_t seed = 42;
+
+    /** Cells with equal configs are interchangeable worlds — the
+     *  testbed cache keys on this. */
+    bool operator==(const TestbedConfig &) const = default;
 };
 
 /**
@@ -117,6 +121,18 @@ class Testbed
      * registrations and the trace-enabled flag survive.
      */
     void beginRun();
+
+    /**
+     * Return the testbed to its just-constructed state: hypervisor
+     * and VMs rebuilt from the config, event queue rewound to cycle
+     * zero, machine hardware and registries restored, PRNG reseeded,
+     * workload callbacks dropped. A reset testbed is
+     * *fresh-equivalent*: any workload run on it produces bytes
+     * identical to the same workload on a newly constructed
+     * Testbed{config()} — the property the testbed cache and the
+     * VIRTSIM_JOBS determinism guarantee rest on.
+     */
+    void reset();
 
     /** Null for the native configuration. */
     Hypervisor *hypervisor() { return hv.get(); }
@@ -195,6 +211,10 @@ class Testbed
   private:
     void buildNative();
     void buildVirtualized();
+    /** Re-apply the VIRTSIM_TRACE/METRICS/FLAME opt-ins captured at
+     *  construction (trace enable, analyzer attach, profiler hookup)
+     *  on a freshly built or reset world. */
+    void applyObservability();
     PhysicalCpu &lcpuOf(int lcpu);
     Vcpu &vcpuOf(int lcpu);
 
@@ -214,6 +234,91 @@ class Testbed
     /** Native-mode pending IPI completions per CPU. */
     std::array<std::deque<Done>, 8> nativeIpiDone;
 };
+
+/**
+ * RAII handle to a testbed obtained from acquireTestbed(). When the
+ * testbed came from the per-thread cache the lease releases it for
+ * reuse on destruction; when the cache is bypassed the lease owns the
+ * testbed outright and destroys it.
+ */
+class TestbedLease
+{
+  public:
+    /** Owning lease (cache bypassed). */
+    explicit TestbedLease(std::unique_ptr<Testbed> owned)
+        : owning(std::move(owned)), cached(nullptr), inUse(nullptr)
+    {
+    }
+
+    /** Cached lease: tb stays alive in the cache, *in_use flips back
+     *  to false on release. */
+    TestbedLease(Testbed *tb, bool *in_use)
+        : cached(tb), inUse(in_use)
+    {
+    }
+
+    TestbedLease(TestbedLease &&other) noexcept
+        : owning(std::move(other.owning)), cached(other.cached),
+          inUse(other.inUse)
+    {
+        other.cached = nullptr;
+        other.inUse = nullptr;
+    }
+
+    TestbedLease(const TestbedLease &) = delete;
+    TestbedLease &operator=(const TestbedLease &) = delete;
+    TestbedLease &operator=(TestbedLease &&) = delete;
+
+    ~TestbedLease()
+    {
+        if (inUse)
+            *inUse = false;
+    }
+
+    Testbed *get() { return owning ? owning.get() : cached; }
+    Testbed &operator*() { return *get(); }
+    Testbed *operator->() { return get(); }
+
+  private:
+    std::unique_ptr<Testbed> owning;
+    Testbed *cached;
+    bool *inUse;
+};
+
+/** Per-thread testbed cache counters (cumulative for the calling
+ *  thread; sweep workers each have their own). */
+struct TestbedCacheStats
+{
+    std::uint64_t hits = 0;   ///< acquires served by reset-and-reuse
+    std::uint64_t misses = 0; ///< acquires that cold-built a world
+};
+
+/** Counters for the calling thread's cache. */
+TestbedCacheStats testbedCacheStats();
+
+/**
+ * Whether acquireTestbed() may serve cached worlds. False when
+ * VIRTSIM_POOL_CACHE=0 (force cold-build, e.g. to bisect a suspected
+ * reset bug) or when any of VIRTSIM_TRACE/VIRTSIM_METRICS/
+ * VIRTSIM_FLAME is set: export happens in ~Testbed, and cached
+ * instances inside persistent pool workers would not be destroyed
+ * until process exit, so observability runs always cold-build.
+ * Re-read per call.
+ */
+bool testbedCacheEnabled();
+
+/**
+ * Get a ready-to-use testbed for cfg: a reset() cached instance from
+ * the calling thread's cache when one with an equal config is idle,
+ * else a freshly built one (cached for next time when caching is
+ * enabled). The cache is thread_local — sweep workers persist across
+ * sweeps (sim/sweep.hh), so a worker re-entering the same sweep cell
+ * skips world construction entirely. Reset guarantees
+ * fresh-equivalence, so results are byte-identical whether or not a
+ * cache hit occurred — and therefore across VIRTSIM_JOBS values and
+ * VIRTSIM_POOL_CACHE settings.
+ */
+TestbedLease acquireTestbed(const TestbedConfig &cfg);
 
 } // namespace virtsim
 

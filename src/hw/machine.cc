@@ -52,6 +52,25 @@ Machine::Machine(EventQueue &eq, MachineConfig config)
                                  cfg.nicParams);
 }
 
+void
+Machine::reset()
+{
+    for (auto &c : cpus)
+        c->reset();
+    chip->reset();
+    _timers->reset();
+    _mmu.reset();
+    _memory.reset();
+    _nic->reset();
+    // clear(), not reset(): reset keeps registered keys alive, so a
+    // recycled machine would render zero-valued rows a fresh one has
+    // never heard of.
+    _stats.clear();
+    _probe.metrics.clear();
+    _probe.trace.clear();
+    _probe.profiler.reset();
+}
+
 PhysicalCpu &
 Machine::cpu(PcpuId id)
 {

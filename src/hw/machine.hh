@@ -87,6 +87,20 @@ class Machine
     MainMemory &memory() { return _memory; }
     Nic &nic() { return *_nic; }
 
+    /**
+     * Return the machine to its just-constructed state so a cached
+     * instance is indistinguishable from a cold-built one: CPUs,
+     * interrupt chip, timers, TLBs, memory and NIC rewound; stats and
+     * metrics registries *cleared* (registrations dropped, not just
+     * zeroed — a reset-but-registered counter would render rows a
+     * fresh machine lacks); trace ring and profiler emptied. Does NOT
+     * touch the trace sink's enabled flag, capacity or observer, nor
+     * the NIC's onWireTx hook — those belong to the harness (Testbed)
+     * that owns the machine. Does not drain the event queue either:
+     * the queue is shared with the harness, which resets it.
+     */
+    void reset();
+
   private:
     MachineConfig cfg;
     EventQueue &eq;

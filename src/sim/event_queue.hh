@@ -174,6 +174,19 @@ class EventQueue
      *  Arena slots are retained and recycled by later schedules. */
     void clear();
 
+    /** clear() plus rewind simulated time and the tie-break sequence
+     *  to zero, so a recycled queue schedules and fires in exactly
+     *  the order a newly constructed one would. Arena slot
+     *  generations persist, which only changes EventId encodings —
+     *  never firing order or simulated timing. */
+    void
+    reset()
+    {
+        clear();
+        _now = 0;
+        nextSeq = 0;
+    }
+
   private:
     /** Heap entry: sort key plus the arena slot holding the
      *  callback. POD-small so sifting stays in contiguous memory and

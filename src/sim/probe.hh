@@ -219,14 +219,24 @@ class TraceSink
 
     TraceObserver *observer() const { return obs; }
 
-    /** @name Stamping (hot path: branch + stores, no allocation) */
+    /** @name Stamping
+     *
+     * Hot path. With the sink disabled — the default for every sweep
+     * cell unless VIRTSIM_TRACE/VIRTSIM_FLAME asked for records —
+     * each call is a single predictable branch and nothing else: no
+     * stores, no allocation, no observer dispatch. The [[likely]]
+     * hints bias codegen for that dead-probe path; enabling tracing
+     * is the explicitly-paid-for slow mode. When enabled, a call is
+     * a branch plus stores into the preallocated ring (still no
+     * allocation).
+     */
     ///@{
     /** Table V style tap: a named timestamp bound to a flow id. */
     void
     stamp(Cycles when, std::uint64_t flow, TapId tap,
           std::uint16_t track = noTrack)
     {
-        if (!_enabled)
+        if (!_enabled) [[likely]]
             return;
         push(TraceRecord{when, flow, tap, track, TraceKind::Instant,
                          TraceCat::Tap});
@@ -237,7 +247,7 @@ class TraceSink
     instant(Cycles when, TapId tap, TraceCat cat,
             std::uint16_t track = noTrack, std::uint64_t arg = 0)
     {
-        if (!_enabled)
+        if (!_enabled) [[likely]]
             return;
         push(TraceRecord{when, arg, tap, track, TraceKind::Instant,
                          cat});
@@ -249,7 +259,7 @@ class TraceSink
     begin(Cycles when, TapId tap, TraceCat cat,
           std::uint16_t track = noTrack, std::uint64_t arg = 0)
     {
-        if (!_enabled)
+        if (!_enabled) [[likely]]
             return;
         push(TraceRecord{when, arg, tap, track, TraceKind::Begin, cat});
     }
@@ -259,7 +269,7 @@ class TraceSink
     end(Cycles when, TapId tap, TraceCat cat,
         std::uint16_t track = noTrack, std::uint64_t arg = 0)
     {
-        if (!_enabled)
+        if (!_enabled) [[likely]]
             return;
         push(TraceRecord{when, arg, tap, track, TraceKind::End, cat});
     }
@@ -269,7 +279,7 @@ class TraceSink
     span(Cycles t0, Cycles t1, TapId tap, TraceCat cat,
          std::uint16_t track = noTrack, std::uint64_t arg = 0)
     {
-        if (!_enabled)
+        if (!_enabled) [[likely]]
             return;
         push(TraceRecord{t0, arg, tap, track, TraceKind::Begin, cat});
         push(TraceRecord{t1, arg, tap, track, TraceKind::End, cat});
@@ -288,7 +298,7 @@ class TraceSink
     edgeOut(Cycles when, TapId tap, TraceCat cat,
             std::uint16_t track = noTrack)
     {
-        if (!_enabled)
+        if (!_enabled) [[likely]]
             return 0;
         const std::uint64_t token = ++edgeSeq;
         push(TraceRecord{when, token, tap, track, TraceKind::EdgeOut,
@@ -302,7 +312,7 @@ class TraceSink
     edgeIn(Cycles when, std::uint64_t token, TapId tap, TraceCat cat,
            std::uint16_t track = noTrack)
     {
-        if (!_enabled || token == 0)
+        if (!_enabled || token == 0) [[likely]]
             return;
         push(TraceRecord{when, token, tap, track, TraceKind::EdgeIn,
                          cat});
@@ -543,6 +553,14 @@ class MetricsRegistry
 
     /** Zero all counters and histograms in every domain. */
     void reset();
+
+    /** Drop every domain and registration, returning to the
+     *  just-constructed state. Invalidates references previously
+     *  handed out by machine()/vm()/cpu(); reset() keeps them valid
+     *  but leaves zero-valued rows in snapshots. Testbed reuse uses
+     *  clear() so a recycled world snapshots byte-identically to a
+     *  fresh one. */
+    void clear();
 
     MetricsSnapshot snapshot() const;
 

@@ -123,6 +123,13 @@ StatRegistry::reset()
         kv.second.reset();
 }
 
+void
+StatRegistry::clear()
+{
+    counters.clear();
+    stats.clear();
+}
+
 std::string
 StatRegistry::render() const
 {

@@ -7,8 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <new>
 #include <sstream>
 #include <vector>
 
@@ -17,6 +20,65 @@
 #include "core/testbed.hh"
 #include "sim/probe.hh"
 #include "sim/sweep.hh"
+
+// ---------------------------------------------------------------------
+// Binary-wide allocation counter. The dead-probe fast path (stamping
+// with the sink disabled) must be one predictable branch with zero
+// allocations; counting every operator new in this test binary proves
+// it without a heap profiler, and keeps working under the sanitizer
+// builds (ASan intercepts malloc below this layer).
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::atomic<std::uint64_t> g_news{0};
+
+void *
+countedAlloc(std::size_t size)
+{
+    g_news.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return countedAlloc(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
 
 using namespace virtsim;
 
@@ -591,4 +653,53 @@ TEST(Probe, TraceEnvExportsLoadableJson)
     EXPECT_NE(json.find("vm.driver.tx"), std::string::npos);
     EXPECT_NE(json.find("kvm.exit"), std::string::npos);
     EXPECT_NE(json.find("ws.save.VGIC"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// The dead-probe fast path (ISSUE 4 tentpole 3): with the sink
+// disabled, every stamping entry point must allocate nothing.
+// ---------------------------------------------------------------------
+
+TEST(TraceSinkFastPath, DisabledStampingAllocatesNothing)
+{
+    TraceSink sink; // never enabled
+    const TapId tap = internTap("fastpath.test");
+    ASSERT_FALSE(sink.enabled());
+
+    const std::uint64_t before = g_news.load();
+    for (int i = 0; i < 10000; ++i) {
+        const Cycles t = static_cast<Cycles>(i);
+        sink.stamp(t, 1, tap);
+        sink.instant(t, tap, TraceCat::Tap);
+        sink.begin(t, tap, TraceCat::Switch);
+        sink.end(t + 1, tap, TraceCat::Switch);
+        sink.span(t, t + 2, tap, TraceCat::Op);
+        const std::uint64_t token =
+            sink.edgeOut(t, tap, TraceCat::Irq);
+        EXPECT_EQ(token, 0u); // disabled sinks mint no edges
+        sink.edgeIn(t, token, tap, TraceCat::Irq);
+    }
+    const std::uint64_t after = g_news.load();
+    EXPECT_EQ(after, before);
+}
+
+TEST(TraceSinkFastPath, EnabledSteadyStateAllocatesNothing)
+{
+    // Enabling pays one ring allocation up front; stamping afterwards
+    // stays allocation-free (stores into the preallocated ring).
+    TraceSink sink;
+    sink.setCapacity(1024);
+    sink.enable();
+    const TapId tap = internTap("fastpath.enabled");
+
+    const std::uint64_t before = g_news.load();
+    for (int i = 0; i < 10000; ++i) {
+        const Cycles t = static_cast<Cycles>(i);
+        sink.stamp(t, 1, tap);
+        sink.span(t, t + 2, tap, TraceCat::Op);
+        sink.edgeIn(t, sink.edgeOut(t, tap, TraceCat::Irq), tap,
+                    TraceCat::Irq);
+    }
+    const std::uint64_t after = g_news.load();
+    EXPECT_EQ(after, before);
 }

@@ -20,33 +20,44 @@ using namespace virtsim;
 
 namespace {
 
-/** Scoped VIRTSIM_JOBS override; restores the prior value on exit. */
-class ScopedJobs
+/** Scoped environment override; restores the prior value on exit. */
+class ScopedEnv
 {
   public:
-    explicit ScopedJobs(const char *value)
+    ScopedEnv(const char *name, const char *value) : name(name)
     {
-        const char *prev = std::getenv("VIRTSIM_JOBS");
+        const char *prev = std::getenv(name);
         if (prev)
             saved = prev;
         had = prev != nullptr;
         if (value)
-            ::setenv("VIRTSIM_JOBS", value, 1);
+            ::setenv(name, value, 1);
         else
-            ::unsetenv("VIRTSIM_JOBS");
+            ::unsetenv(name);
     }
 
-    ~ScopedJobs()
+    ~ScopedEnv()
     {
         if (had)
-            ::setenv("VIRTSIM_JOBS", saved.c_str(), 1);
+            ::setenv(name.c_str(), saved.c_str(), 1);
         else
-            ::unsetenv("VIRTSIM_JOBS");
+            ::unsetenv(name.c_str());
     }
 
   private:
+    std::string name;
     std::string saved;
     bool had = false;
+};
+
+/** Scoped VIRTSIM_JOBS override; restores the prior value on exit. */
+class ScopedJobs : public ScopedEnv
+{
+  public:
+    explicit ScopedJobs(const char *value)
+        : ScopedEnv("VIRTSIM_JOBS", value)
+    {
+    }
 };
 
 } // namespace
@@ -121,6 +132,73 @@ TEST(Sweep, JobsEnvControlsWorkerCount)
     }
 }
 
+TEST(Sweep, InvalidJobsEnvIsFatal)
+{
+    // Earlier tests may have started persistent pool workers;
+    // threadsafe style re-executes the death test from scratch
+    // instead of forking a multithreaded process.
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    // fatal() exits with status 1 after printing the offending value;
+    // zero, negative, non-numeric and empty are all rejected.
+    for (const char *bad : {"0", "-3", "abc", "", "4x"}) {
+        ScopedJobs env(bad);
+        EXPECT_EXIT(sweepJobs(), testing::ExitedWithCode(1),
+                    "VIRTSIM_JOBS")
+            << "value \"" << bad << "\"";
+    }
+}
+
+TEST(Sweep, PoolPersistsAcrossBackToBackSweeps)
+{
+    ScopedJobs env("4");
+    auto task = [](std::size_t i) { return i + 1; };
+
+    (void)parallelSweepIndexed(32, task);
+    const SweepPoolStats after_first = sweepPoolStats();
+    EXPECT_GE(after_first.threads, 3u); // caller + 3 helpers at jobs=4
+    EXPECT_GE(after_first.parallelSweeps, 1u);
+
+    (void)parallelSweepIndexed(32, task);
+    (void)parallelSweepIndexed(32, task);
+    const SweepPoolStats after_more = sweepPoolStats();
+
+    // Reuse, not respawn: two more sweeps ran without growing the
+    // pool, and every task completed.
+    EXPECT_EQ(after_more.threads, after_first.threads);
+    EXPECT_EQ(after_more.parallelSweeps, after_first.parallelSweeps + 2);
+    EXPECT_EQ(after_more.tasksExecuted, after_first.tasksExecuted + 64);
+}
+
+TEST(Sweep, SerialPathIsCountedSeparately)
+{
+    const SweepPoolStats before = sweepPoolStats();
+    (void)parallelSweepIndexed(8, [](std::size_t i) { return i; }, 1);
+    const SweepPoolStats after = sweepPoolStats();
+    EXPECT_EQ(after.serialSweeps, before.serialSweeps + 1);
+    EXPECT_EQ(after.parallelSweeps, before.parallelSweeps);
+    EXPECT_EQ(after.tasksExecuted, before.tasksExecuted + 8);
+}
+
+TEST(Sweep, ThrowAbortsRemainingTasks)
+{
+    // Every task throws immediately, so each participating thread
+    // claims at most one index before the abort flag stops the drain:
+    // far fewer than n tasks may start.
+    constexpr std::size_t n = 1000;
+    constexpr int jobs = 4;
+    std::atomic<std::size_t> started{0};
+    EXPECT_THROW(parallelSweepIndexed(
+                     n,
+                     [&started](std::size_t) -> int {
+                         started.fetch_add(1);
+                         throw std::runtime_error("each task throws");
+                     },
+                     jobs),
+                 std::runtime_error);
+    EXPECT_LE(started.load(), static_cast<std::size_t>(jobs));
+    EXPECT_LT(started.load(), n);
+}
+
 namespace {
 
 void
@@ -162,4 +240,30 @@ TEST(Sweep, Figure4IsDeterministicAcrossJobCounts)
     }
     ASSERT_FALSE(serial.empty());
     expectIdenticalRows(serial, parallel);
+}
+
+TEST(Sweep, Figure4IsIdenticalWithTestbedCacheDisabled)
+{
+    // The per-worker testbed cache serves reset() worlds on repeat
+    // configurations; fresh-equivalence of the reset means cold-built
+    // and recycled runs must produce the same bytes. Run the sweep
+    // twice cached (the second pass is all cache hits) and once with
+    // VIRTSIM_POOL_CACHE=0, at different job counts.
+    AppBenchOptions opt;
+    opt.seed = 42;
+
+    std::vector<AppBenchRow> cached_warm;
+    {
+        ScopedJobs env("8");
+        (void)runFigure4(opt); // warm the per-worker caches
+        cached_warm = runFigure4(opt);
+    }
+    std::vector<AppBenchRow> cold;
+    {
+        ScopedJobs env("1");
+        ScopedEnv cache("VIRTSIM_POOL_CACHE", "0");
+        cold = runFigure4(opt);
+    }
+    ASSERT_FALSE(cold.empty());
+    expectIdenticalRows(cold, cached_warm);
 }
