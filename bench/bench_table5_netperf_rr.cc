@@ -17,6 +17,7 @@
 #include "core/netperf.hh"
 #include "core/report.hh"
 #include "sim/attrib.hh"
+#include "sim/timeline.hh"
 
 using namespace virtsim;
 
@@ -56,6 +57,8 @@ main()
     std::vector<NetperfRrResult> results;
     std::vector<std::string> briefs;
     std::vector<BlameReport> blames;
+    std::vector<std::string> timelines;
+    std::uint64_t anomalies = 0;
     for (const auto &[kind, paper] : cols) {
         (void)paper;
         TestbedConfig tc;
@@ -66,6 +69,20 @@ main()
         results.push_back(runNetperfRr(*tb));
         briefs.push_back(tb->metrics().snapshot().brief());
         blames.push_back(an.report(&tb->trace()));
+        // When VIRTSIM_TIMELINE / VIRTSIM_TRACE armed the sampler,
+        // gate on the watchdog: a paper-config run must be
+        // anomaly-free or the table's numbers are suspect.
+        const TimelineSampler &tl = tb->timeline();
+        if (tl.enabled()) {
+            anomalies += tl.anomalyCount();
+            timelines.push_back(
+                to_string(kind) + "\n" +
+                renderTimelineSummary(
+                    tl, tb->freq(),
+                    {"cpu0.el", "cpu0.gic.lr_used", "nic.rx_queue",
+                     "virtio.rx.avail", "vhost.rx_backlog",
+                     "xenring.rx.requests", "event_queue.depth"}));
+        }
     }
 
     TextTable table({"", "Native", "KVM", "Xen"});
@@ -129,6 +146,16 @@ main()
     const DiffReport diff = diffBlame(blames[2], blames[1]);
     std::cout << diff.render() << "\n";
 
+    if (!timelines.empty()) {
+        std::cout << "Timeline summary (per configuration):\n";
+        for (const std::string &t : timelines)
+            std::cout << t << "\n";
+    }
+    if (anomalies > 0) {
+        std::cout << "WATCHDOG: " << anomalies
+                  << " anomalies recorded across configurations\n";
+    }
+
     // The paper's qualitative conclusions from this table.
     const auto &nat = results[0];
     const auto &kvm = results[1];
@@ -167,7 +194,7 @@ main()
 
     return (both_high_overhead && xen_worse && kvm_send_recv_native &&
             xen_send_recv_slower && vm_internal_similar &&
-            xen_delivery_slower)
+            xen_delivery_slower && anomalies == 0)
                ? 0
                : 1;
 }

@@ -76,13 +76,21 @@ base, cur = bests([base_path]), bests(cur_paths)
 if not base:
     print("bench_compare: baseline has no usable entries; skipping")
     sys.exit(0)
+if not cur:
+    # A fresh run with zero usable entries means the bench binary
+    # produced no measurements at all — that is a failure, not a
+    # skip, or a broken bench would sail through the gate.
+    print("bench_compare: ERROR: fresh run produced no usable "
+          "benchmark entries", file=sys.stderr)
+    sys.exit(1)
 
 failed = False
+missing = []
 for name in sorted(base):
     b = base[name]
     c = cur.get(name)
     if c is None:
-        print(f"  {name}: missing from current run")
+        missing.append(name)
         failed = True
         continue
     delta = (c - b) / b * 100.0
@@ -91,6 +99,15 @@ for name in sorted(base):
         flag = f"  <-- exceeds +{max_pct:.0f}% budget"
         failed = True
     print(f"  {name}: {b:.0f} -> {c:.0f} ns ({delta:+.1f}%){flag}")
+
+if missing:
+    # A benchmark present in the baseline but absent from the fresh
+    # run fails loudly: deleting or renaming a bench must not let it
+    # dodge the regression gate silently.
+    print(f"bench_compare: ERROR: {len(missing)} baseline "
+          "benchmark(s) missing from fresh run:", file=sys.stderr)
+    for name in missing:
+        print(f"  MISSING: {name}", file=sys.stderr)
 
 sys.exit(1 if failed else 0)
 PYEOF

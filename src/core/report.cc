@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "sim/log.hh"
+#include "sim/timeline.hh"
+#include "sim/units.hh"
 
 namespace virtsim {
 
@@ -122,6 +124,97 @@ formatFixed(double value, int digits)
     oss.setf(std::ios::fixed);
     oss.precision(digits);
     oss << value;
+    return oss.str();
+}
+
+std::string
+renderSparkline(const TimelineSampler &timeline, std::size_t gauge,
+                std::size_t width)
+{
+    static const char ramp[] = " .:-=+*#%@";
+    const std::uint32_t n = timeline.sampleCount(gauge);
+    if (n == 0 || width == 0)
+        return "";
+    const TimelineSample *s = timeline.samplesFor(gauge);
+
+    // The stored series is change-deduplicated, so it describes a
+    // step function: s[k].value holds from s[k].when until s[k+1].
+    const Cycles begin = s[0].when;
+    const Cycles end = std::max<Cycles>(s[n - 1].when, begin + 1);
+    std::int64_t maxv = 0;
+    for (std::uint32_t k = 0; k < n; ++k)
+        maxv = std::max(maxv, s[k].value);
+
+    std::string out(width, ' ');
+    if (maxv <= 0)
+        return out;
+    std::uint32_t k = 0;
+    for (std::size_t b = 0; b < width; ++b) {
+        const Cycles lo =
+            begin + (end - begin) * b / width;
+        const Cycles hi =
+            begin + (end - begin) * (b + 1) / width;
+        // Value entering the bucket, then any step inside it.
+        while (k + 1 < n && s[k + 1].when <= lo)
+            ++k;
+        std::int64_t bucket = s[k].value;
+        for (std::uint32_t j = k + 1; j < n && s[j].when < hi; ++j)
+            bucket = std::max(bucket, s[j].value);
+        if (bucket > 0) {
+            const std::size_t idx = 1 +
+                static_cast<std::size_t>(bucket * 8 / maxv);
+            out[b] = ramp[std::min<std::size_t>(idx, 9)];
+        }
+    }
+    return out;
+}
+
+std::string
+renderTimelineSummary(const TimelineSampler &timeline,
+                      const Frequency &freq,
+                      const std::vector<std::string> &gauges)
+{
+    std::ostringstream oss;
+    std::uint64_t stored = 0;
+    for (std::size_t g = 0; g < timeline.gaugeCount(); ++g)
+        stored += timeline.sampleCount(g);
+    oss << "Timeline: " << timeline.tickCount() << " ticks @ "
+        << timeline.period() << " cy, " << stored
+        << " samples stored";
+    if (timeline.droppedSamples() > 0)
+        oss << ", " << timeline.droppedSamples() << " DROPPED";
+    oss << "\n";
+
+    std::size_t label = 0;
+    for (const std::string &name : gauges)
+        label = std::max(label, name.size());
+    for (const std::string &name : gauges) {
+        const int g = timeline.findGauge(name);
+        if (g < 0)
+            continue;
+        std::int64_t maxv = 0;
+        const TimelineSample *s = timeline.samplesFor(g);
+        for (std::uint32_t k = 0; k < timeline.sampleCount(g); ++k)
+            maxv = std::max(maxv, s[k].value);
+        oss << "  " << name
+            << std::string(label - name.size(), ' ') << " |"
+            << renderSparkline(timeline, g) << "| max "
+            << maxv << "\n";
+    }
+
+    if (timeline.anomalyCount() == 0) {
+        oss << "Watchdog: 0 anomalies\n";
+        return oss.str();
+    }
+    oss << "Watchdog: " << timeline.anomalyCount()
+        << " ANOMALIES\n";
+    for (std::uint32_t a = 0; a < timeline.anomalyCount(); ++a) {
+        const TimelineSampler::Anomaly &an = timeline.anomalies()[a];
+        oss << "  " << timeline.ruleName(an.rule) << ": "
+            << formatFixed(freq.us(an.begin), 1) << "us - "
+            << formatFixed(freq.us(an.end), 1) << "us, peak "
+            << an.peak << "\n";
+    }
     return oss.str();
 }
 

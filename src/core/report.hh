@@ -13,6 +13,9 @@
 
 namespace virtsim {
 
+class Frequency;
+class TimelineSampler;
+
 /**
  * A simple right-aligned text table.
  */
@@ -45,6 +48,24 @@ std::string formatFixed(double value, int digits);
 
 /** Percentage delta vs a reference ("+8.3%"). */
 std::string formatDelta(double measured, double reference);
+
+/**
+ * ASCII sparkline of a sampled gauge: the series resampled into
+ * `width` buckets, each rendered " .:-=+*#%@" by its bucket maximum
+ * scaled to the series maximum. Empty when the gauge has no samples.
+ */
+std::string renderSparkline(const TimelineSampler &timeline,
+                            std::size_t gauge, std::size_t width = 48);
+
+/**
+ * Multi-line summary of an armed timeline for bench stdout: tick and
+ * sample totals, a sparkline per named gauge, and every recorded
+ * watchdog anomaly window. Benches print this next to their tables so
+ * a saturated queue is visible without opening the JSON export.
+ */
+std::string renderTimelineSummary(
+    const TimelineSampler &timeline, const Frequency &freq,
+    const std::vector<std::string> &gauges);
 
 } // namespace virtsim
 

@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "os/kernel.hh"
+#include "sim/env.hh"
 #include "sim/log.hh"
 
 namespace virtsim {
@@ -97,11 +98,11 @@ Testbed::Testbed(TestbedConfig config)
     // dispatch profiler.
     // VIRTSIM_TRACE_CAPACITY=<records> resizes the ring before it is
     // enabled (rounded up to a power of two; 24 bytes per record).
-    if (const char *p = std::getenv("VIRTSIM_TRACE_CAPACITY")) {
-        char *end = nullptr;
-        const unsigned long long n = std::strtoull(p, &end, 10);
-        if (end != p && n > 0)
-            server->trace().setCapacity(static_cast<std::size_t>(n));
+    // Numeric knobs parse through envPositiveCount, which fatal()s on
+    // garbage instead of silently keeping the default.
+    if (const auto cap = envPositiveCount("VIRTSIM_TRACE_CAPACITY",
+                                          std::uint64_t{1} << 32)) {
+        server->trace().setCapacity(static_cast<std::size_t>(*cap));
     }
     if (const char *p = std::getenv("VIRTSIM_TRACE")) {
         if (*p)
@@ -118,6 +119,17 @@ Testbed::Testbed(TestbedConfig config)
         if (*p)
             flamePath = p;
     }
+    // VIRTSIM_TIMELINE=<file> samples gauges and writes the series
+    // (JSON, or CSV when the path ends in .csv) at teardown;
+    // VIRTSIM_TIMELINE_HZ tunes the simulated-time sampling rate.
+    if (const char *p = std::getenv("VIRTSIM_TIMELINE")) {
+        if (*p)
+            timelinePath = p;
+    }
+    if (const auto hz = envPositiveCount("VIRTSIM_TIMELINE_HZ",
+                                         std::uint64_t{1} << 40)) {
+        timelineHz = static_cast<double>(*hz);
+    }
     applyObservability();
 }
 
@@ -128,8 +140,59 @@ Testbed::applyObservability()
         server->trace().enable();
     if (!flamePath.empty())
         attribution();
-    if (!tracePath.empty() || !metricsPath.empty() || !flamePath.empty())
+    // Sampling also arms under VIRTSIM_TRACE alone so the Perfetto
+    // export carries counter tracks next to its spans and flows.
+    if (timelineWanted || !timelinePath.empty() || !tracePath.empty()) {
+        const Cycles period = std::max<Cycles>(
+            1, server->freq().cyclesFromSeconds(1.0 / timelineHz));
+        server->probe().timeline.enable(period);
+        installWatchdogRules();
+    }
+    if (!tracePath.empty() || !metricsPath.empty() ||
+        !flamePath.empty() || !timelinePath.empty()) {
         eq.setProfiler(&server->probe().profiler);
+    }
+}
+
+void
+Testbed::installWatchdogRules()
+{
+    TimelineSampler &tl = server->probe().timeline;
+    if (tl.ruleCount() > 0)
+        return;
+    const Frequency &f = server->freq();
+    // Thresholds sit well above anything the paper-config workloads
+    // produce, so anomalies flag genuinely pathological states (a
+    // wedged VCPU, a saturated LR file held across samples, drop
+    // bursts) rather than normal bursts.
+    for (std::size_t g = 0; g < tl.gaugeCount(); ++g) {
+        const std::string &name = tl.gaugeName(g);
+        if (name.size() > 6 &&
+            name.compare(name.size() - 6, 6, ".state") == 0) {
+            // VcpuState::InHyp sustained: an exit being handled for
+            // 200 us straight means the VCPU is wedged in the
+            // hypervisor (every Table I operation is tens of us at
+            // worst).
+            tl.addRule("stalled." + name, name,
+                       static_cast<std::int64_t>(VcpuState::InHyp),
+                       f.cycles(200.0));
+        } else if (name.size() > 12 &&
+                   name.compare(name.size() - 12, 12,
+                                ".gic.lr_used") == 0) {
+            // All four list registers occupied across consecutive
+            // samples: virtual interrupts are backing up faster than
+            // the guest acknowledges them.
+            tl.addRule("lr_saturation." + name, name,
+                       static_cast<std::int64_t>(numListRegs),
+                       f.cycles(100.0));
+        }
+    }
+    if (tl.findGauge("nic.rx_queue") >= 0) {
+        tl.addRule("rx_queue_depth", "nic.rx_queue", 1024,
+                   f.cycles(100.0));
+    }
+    if (tl.findGauge("nic.rx_drop.rate") >= 0)
+        tl.addRule("rx_drop_burst", "nic.rx_drop.rate", 8, 0);
 }
 
 namespace {
@@ -157,24 +220,43 @@ perKindPath(const std::string &path, SutKind kind)
 
 Testbed::~Testbed()
 {
-    if (tracePath.empty() && metricsPath.empty() && flamePath.empty())
+    if (tracePath.empty() && metricsPath.empty() &&
+        flamePath.empty() && timelinePath.empty()) {
         return;
+    }
     // Parallel sweeps tear testbeds down from worker threads; exports
     // go one at a time. Same-kind testbeds still share a path (last
     // writer wins); distinct configurations never clobber each other.
     static std::mutex export_mutex;
     std::lock_guard<std::mutex> lock(export_mutex);
+    const TimelineSampler &tl = server->probe().timeline;
     if (!tracePath.empty()) {
         exportChromeTrace(perKindPath(tracePath, cfg.kind),
                           server->trace(), server->freq(),
-                          to_string(cfg.kind));
+                          to_string(cfg.kind), &tl);
     }
     if (!flamePath.empty() && _attrib) {
         _attrib->writeFoldedFile(perKindPath(flamePath, cfg.kind),
                                  to_string(cfg.kind));
     }
+    if (!timelinePath.empty()) {
+        const std::string path = perKindPath(timelinePath, cfg.kind);
+        std::ofstream os(path);
+        if (!os) {
+            warn("cannot open timeline file ", path);
+        } else if (path.size() > 4 &&
+                   path.compare(path.size() - 4, 4, ".csv") == 0) {
+            os << tl.renderCsv(server->freq());
+        } else {
+            os << tl.renderJson(server->freq()) << "\n";
+        }
+    }
     if (!metricsPath.empty()) {
         server->probe().syncTraceHealth();
+        // Watchdog findings land in the snapshot too, so a metrics
+        // dump carries the anomaly verdict even when nobody keeps
+        // the timeline file.
+        tl.publishAnomalies(server->metrics());
         const std::string path = perKindPath(metricsPath, cfg.kind);
         std::ofstream os(path);
         if (!os) {
@@ -514,7 +596,7 @@ testbedCacheEnabled()
     // observability runs always cold-build (and stay byte-identical
     // to pre-cache behaviour).
     if (isSet("VIRTSIM_TRACE") || isSet("VIRTSIM_METRICS") ||
-        isSet("VIRTSIM_FLAME")) {
+        isSet("VIRTSIM_FLAME") || isSet("VIRTSIM_TIMELINE")) {
         return false;
     }
     if (const char *v = std::getenv("VIRTSIM_POOL_CACHE"))

@@ -206,15 +206,46 @@ class Testbed
     ///@}
 
     /** Drain the event queue. @return final simulated time. */
-    Cycles run() { return eq.run(); }
+    Cycles
+    run()
+    {
+        // One predicted branch when sampling is off; otherwise arm
+        // the first sampling tick before the queue starts draining.
+        server->probe().timeline.ensureScheduled(eq);
+        return eq.run();
+    }
+
+    /** The machine's timeline sampler (gauge series + watchdog). */
+    TimelineSampler &timeline() { return server->probe().timeline; }
+
+    /**
+     * Programmatically arm timeline sampling at the given rate, as if
+     * VIRTSIM_TIMELINE_HZ were set (no file export unless a path was
+     * configured too). For tests and benches that want the series or
+     * the watchdog in-process; survives reset() like the env opt-ins.
+     * Note: acquireTestbed()'s cache only bypasses on the env vars,
+     * so call this on directly constructed testbeds only.
+     */
+    void
+    enableTimeline(double hz)
+    {
+        timelineWanted = true;
+        timelineHz = hz;
+        applyObservability();
+    }
 
   private:
     void buildNative();
     void buildVirtualized();
-    /** Re-apply the VIRTSIM_TRACE/METRICS/FLAME opt-ins captured at
-     *  construction (trace enable, analyzer attach, profiler hookup)
-     *  on a freshly built or reset world. */
+    /** Re-apply the VIRTSIM_TRACE/METRICS/FLAME/TIMELINE opt-ins
+     *  captured at construction (trace enable, analyzer attach,
+     *  profiler hookup, sampler arming + watchdog rules) on a freshly
+     *  built or reset world. */
     void applyObservability();
+    /** Install the default watchdog rule set over the registered
+     *  gauges (stalled VCPU, sustained LR saturation, NIC queue
+     *  bound, rx-drop burst). No-op if rules are already present. */
+    void installWatchdogRules();
     PhysicalCpu &lcpuOf(int lcpu);
     Vcpu &vcpuOf(int lcpu);
 
@@ -229,6 +260,12 @@ class Testbed
     std::string tracePath;   ///< VIRTSIM_TRACE destination, if set
     std::string metricsPath; ///< VIRTSIM_METRICS destination, if set
     std::string flamePath;   ///< VIRTSIM_FLAME destination, if set
+    std::string timelinePath; ///< VIRTSIM_TIMELINE destination, if set
+    /** Sampling rate in simulated Hz (VIRTSIM_TIMELINE_HZ or
+     *  enableTimeline()); 100 kHz default keeps a Table V run well
+     *  inside the per-series capacity. */
+    double timelineHz = 100000.0;
+    bool timelineWanted = false; ///< enableTimeline() was called
     std::unique_ptr<CausalAnalyzer> _attrib;
     std::uint64_t txSeq = 0;
     /** Native-mode pending IPI completions per CPU. */

@@ -49,6 +49,35 @@ void
 Hypervisor::start()
 {
     stats().counter("hv.started").inc();
+
+    // Per-VM timeline gauges. Guest VMs only (_vms excludes Xen's
+    // Dom0/idle domains), in creation order so exports are
+    // deterministic. Captures are stable: VM/VCPU storage never
+    // moves, metrics domains are held by pointer, and the sampler is
+    // cleared before any of them is torn down (Machine::reset()).
+    TimelineSampler &tl = mach.probe().timeline;
+    const TapId ws = worldSwitchTap();
+    for (const auto &vmPtr : _vms) {
+        Vm &vm = *vmPtr;
+        MetricsDomain *dom = &vmMetrics(vm);
+        // value(), not counter(): a registering read would add a
+        // zero-valued world_switch row to every snapshot.
+        tl.addRateGauge(vm.name() + ".world_switch.rate",
+                        [dom, ws] {
+                            return static_cast<std::int64_t>(
+                                dom->value(ws));
+                        });
+        for (VcpuId i = 0; i < vm.numVcpus(); ++i) {
+            const Vcpu *vc = &vm.vcpu(i);
+            tl.addGauge(vm.name() + ".vcpu" + std::to_string(i) +
+                            ".state",
+                        [vc] {
+                            return static_cast<std::int64_t>(
+                                vc->state());
+                        },
+                        static_cast<std::uint16_t>(vc->pcpu()));
+        }
+    }
 }
 
 Cycles

@@ -97,8 +97,18 @@ class Hypervisor
                          const std::vector<PcpuId> &pinning);
 
     /** Install interrupt handlers and begin running. Call once after
-     *  all VMs are created. */
+     *  all VMs are created. The base implementation registers the
+     *  per-VM timeline gauges (world-switch rate, per-VCPU run
+     *  state); overrides must call it. */
     virtual void start();
+
+    /**
+     * Tap id of this family's per-VM world-switch counter
+     * ("kvm.world_switch" / "xen.world_switch"), so the base class
+     * can wire world-switch-rate timeline gauges without knowing
+     * each implementation's tap table.
+     */
+    virtual TapId worldSwitchTap() const = 0;
 
     const std::vector<std::unique_ptr<Vm>> &vms() const { return _vms; }
     ///@}

@@ -65,6 +65,12 @@ KvmArm::createVm(const std::string &name, int n_vcpus,
     return vm;
 }
 
+TapId
+KvmArm::worldSwitchTap() const
+{
+    return kvmTaps().worldSwitch;
+}
+
 void
 KvmArm::start()
 {

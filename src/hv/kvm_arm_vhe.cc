@@ -28,6 +28,12 @@ KvmArmVhe::KvmArmVhe(Machine &m) : KvmArm(m)
 {
 }
 
+TapId
+KvmArmVhe::worldSwitchTap() const
+{
+    return vheTaps().worldSwitch;
+}
+
 Cycles
 KvmArmVhe::exitToHost(Cycles t, Vcpu &v)
 {

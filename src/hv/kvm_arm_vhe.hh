@@ -38,6 +38,11 @@ class KvmArmVhe : public KvmArm
 
     std::string name() const override { return "KVM ARM (VHE)"; }
 
+    /** VHE stamps the same kvm.world_switch counter but interns it
+     *  in its own tap table; resolve through it for symmetry with
+     *  the other four implementations. */
+    TapId worldSwitchTap() const override;
+
     /** VHE exit: a plain trap into the (EL2-resident) host — GP
      *  registers only, no Stage-2 toggling, no EL1 switch. */
     Cycles exitToHost(Cycles t, Vcpu &v) override;

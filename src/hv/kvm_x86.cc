@@ -57,6 +57,12 @@ KvmX86::createVm(const std::string &name, int n_vcpus,
     return vm;
 }
 
+TapId
+KvmX86::worldSwitchTap() const
+{
+    return kvmX86Taps().worldSwitch;
+}
+
 void
 KvmX86::start()
 {

@@ -69,6 +69,12 @@ XenArm::createVm(const std::string &name, int n_vcpus,
     return vm;
 }
 
+TapId
+XenArm::worldSwitchTap() const
+{
+    return xenTaps().worldSwitch;
+}
+
 void
 XenArm::start()
 {

@@ -65,6 +65,12 @@ XenX86::createVm(const std::string &name, int n_vcpus,
     return vm;
 }
 
+TapId
+XenX86::worldSwitchTap() const
+{
+    return xenX86Taps().worldSwitch;
+}
+
 void
 XenX86::start()
 {

@@ -84,6 +84,7 @@ class XenX86 : public Hypervisor
     Vm &createVm(const std::string &name, int n_vcpus,
                  const std::vector<PcpuId> &pinning) override;
     void start() override;
+    TapId worldSwitchTap() const override;
 
     void hypercall(Cycles t, Vcpu &v, Done done) override;
     void irqControllerTrap(Cycles t, Vcpu &v, Done done) override;

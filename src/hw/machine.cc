@@ -50,6 +50,65 @@ Machine::Machine(EventQueue &eq, MachineConfig config)
     _timers = std::make_unique<TimerBank>(eq, *chip, cfg.nCpus);
     _nic = std::make_unique<Nic>(eq, *chip, _stats, cfg.costs.freq,
                                  cfg.nicParams);
+
+    registerTimelineGauges();
+}
+
+void
+Machine::registerTimelineGauges()
+{
+    TimelineSampler &tl = _probe.timeline;
+    const bool arm = cfg.costs.arch == Arch::Arm;
+    for (int i = 0; i < cfg.nCpus; ++i) {
+        PhysicalCpu *c = cpus[static_cast<std::size_t>(i)].get();
+        const std::string prefix = "cpu" + std::to_string(i);
+        const auto track = static_cast<std::uint16_t>(i);
+        // Exception level (ARM: EL0/EL1/EL2) or root/non-root mode
+        // (x86) as the CpuMode ordinal — the paper's Table I state.
+        tl.addGauge(prefix + (arm ? ".el" : ".mode"),
+                    [c] {
+                        return static_cast<std::int64_t>(c->mode());
+                    },
+                    track);
+        tl.addRateGauge(prefix + ".busy.rate",
+                        [c] {
+                            return static_cast<std::int64_t>(
+                                c->busyCycles());
+                        },
+                        track);
+        if (arm) {
+            Gic *g = static_cast<Gic *>(chip.get());
+            tl.addGauge(prefix + ".gic.lr_used",
+                        [g, i] {
+                            std::int64_t used = 0;
+                            for (const ListReg &lr : g->listRegs(i)) {
+                                if (!lr.empty())
+                                    ++used;
+                            }
+                            return used;
+                        },
+                        track);
+        }
+    }
+    tl.addGauge("event_queue.depth", [this] {
+        return static_cast<std::int64_t>(eq.pending());
+    });
+    tl.addGauge("nic.rx_queue", [this] {
+        return static_cast<std::int64_t>(_nic->rxQueueDepth());
+    });
+    // counterValue() takes const std::string&; the names live in
+    // statics so a sampling tick never constructs a heap-backed
+    // temporary ("mmu.stage2_fault" is past libstdc++'s 15-char SSO).
+    static const std::string rxDroppedKey{"nic.rx_dropped"};
+    static const std::string stage2FaultKey{"mmu.stage2_fault"};
+    tl.addRateGauge("nic.rx_drop.rate", [this] {
+        return static_cast<std::int64_t>(
+            _stats.counterValue(rxDroppedKey));
+    });
+    tl.addRateGauge("mmu.stage2_fault.rate", [this] {
+        return static_cast<std::int64_t>(
+            _stats.counterValue(stage2FaultKey));
+    });
 }
 
 void
@@ -69,6 +128,14 @@ Machine::reset()
     _probe.metrics.clear();
     _probe.trace.clear();
     _probe.profiler.reset();
+    // Drop gauge registrations wholesale and re-register the hardware
+    // set in constructor order; hypervisor and backend gauges
+    // re-register when the harness rebuilds those layers, so a
+    // recycled machine's timeline is gauge-for-gauge identical to a
+    // fresh one. clear() also drops the enable/period configuration —
+    // the harness (Testbed::applyObservability) re-arms it.
+    _probe.timeline.clear();
+    registerTimelineGauges();
 }
 
 PhysicalCpu &

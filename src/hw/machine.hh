@@ -102,6 +102,16 @@ class Machine
     void reset();
 
   private:
+    /**
+     * Register this machine's hardware gauges with the timeline
+     * sampler: per-CPU exception level / run mode and busy-cycle
+     * rate, GIC list-register occupancy (ARM), event-queue depth,
+     * NIC rx queue depth and drop rate, and the stage-2 fault rate.
+     * Called from the constructor and again from reset() (reset
+     * clears the sampler, mirroring the metrics registry).
+     */
+    void registerTimelineGauges();
+
     MachineConfig cfg;
     EventQueue &eq;
     StatRegistry _stats;

@@ -11,6 +11,33 @@ NetbackBackend::NetbackBackend(Machine &m, Vm &dom0, Vm &domU,
       grants(m, domU), rx(m), tx(m)
 {
     VIRTSIM_ASSERT(p.dom0Pcpu < m.numCpus(), "dom0 pinned outside machine");
+
+    // PV ring and grant-table gauges on Dom0's CPU track; same
+    // lifetime argument as the vhost gauges (sampler cleared before
+    // the backend is destroyed).
+    TimelineSampler &tl = m.probe().timeline;
+    const auto track = static_cast<std::uint16_t>(p.dom0Pcpu);
+    tl.addGauge("netback.rx_backlog",
+                [this] {
+                    return static_cast<std::int64_t>(rxBacklogDepth());
+                },
+                track);
+    tl.addGauge("xenring.rx.requests",
+                [this] {
+                    return static_cast<std::int64_t>(rx.requestDepth());
+                },
+                track);
+    tl.addGauge("xenring.tx.requests",
+                [this] {
+                    return static_cast<std::int64_t>(tx.requestDepth());
+                },
+                track);
+    tl.addGauge("grant.active",
+                [this] {
+                    return static_cast<std::int64_t>(
+                        grants.activeGrants());
+                },
+                track);
 }
 
 Cycles

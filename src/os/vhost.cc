@@ -14,6 +14,33 @@ VhostBackend::VhostBackend(Machine &m, Vm &guest,
     VIRTSIM_ASSERT(p.workerPcpu < m.numCpus() &&
                    p.hostIrqPcpu < m.numCpus(),
                    "vhost pinned outside machine");
+
+    // Virtio/vhost queue-depth gauges, on the worker's CPU track.
+    // The backend outlives the sampler's use of these captures: the
+    // harness clears the sampler (Machine::reset) before tearing the
+    // hypervisor — and with it this backend — down.
+    TimelineSampler &tl = m.probe().timeline;
+    const auto track = static_cast<std::uint16_t>(p.workerPcpu);
+    tl.addGauge("vhost.rx_backlog",
+                [this] {
+                    return static_cast<std::int64_t>(rxBacklogDepth());
+                },
+                track);
+    tl.addGauge("virtio.rx.avail",
+                [this] {
+                    return static_cast<std::int64_t>(rx.availDepth());
+                },
+                track);
+    tl.addGauge("virtio.rx.used",
+                [this] {
+                    return static_cast<std::int64_t>(rx.usedDepth());
+                },
+                track);
+    tl.addGauge("virtio.tx.avail",
+                [this] {
+                    return static_cast<std::int64_t>(tx.availDepth());
+                },
+                track);
 }
 
 void

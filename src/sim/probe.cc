@@ -186,7 +186,8 @@ TraceSink::between(std::uint64_t flow, TapId from, TapId to) const
 
 void
 writeChromeTrace(std::ostream &os, const TraceSink &sink,
-                 const Frequency &freq, const std::string &process)
+                 const Frequency &freq, const std::string &process,
+                 const TimelineSampler *timeline)
 {
     os << "{\"traceEvents\":[\n";
     os << "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
@@ -251,6 +252,11 @@ writeChromeTrace(std::ostream &os, const TraceSink &sink,
         os << "}";
     });
 
+    // Sampled gauges merge in as counter tracks so queue depths and
+    // occupancy levels render under the spans that caused them.
+    if (timeline)
+        timeline->writeCounterEvents(os, freq);
+
     os << "\n],\"otherData\":{\"recordCount\":" << sink.size()
        << ",\"droppedRecords\":" << sink.dropped()
        << ",\"truncatedSpans\":" << sink.truncatedSpans() << "}}\n";
@@ -258,14 +264,20 @@ writeChromeTrace(std::ostream &os, const TraceSink &sink,
 
 bool
 exportChromeTrace(const std::string &path, const TraceSink &sink,
-                  const Frequency &freq, const std::string &process)
+                  const Frequency &freq, const std::string &process,
+                  const TimelineSampler *timeline)
 {
     std::ofstream os(path);
     if (!os) {
         warn("cannot open trace file ", path);
         return false;
     }
-    writeChromeTrace(os, sink, freq, process);
+    if (sink.dropped() > 0 || sink.truncatedSpans() > 0) {
+        warn("trace ", path, " is lossy: ", sink.dropped(),
+             " dropped records, ", sink.truncatedSpans(),
+             " truncated spans (raise VIRTSIM_TRACE_CAPACITY)");
+    }
+    writeChromeTrace(os, sink, freq, process, timeline);
     return true;
 }
 
@@ -281,8 +293,8 @@ Probe::syncTraceHealth()
         if (target > c.value())
             c.inc(target - c.value());
     };
-    topUp("trace.dropped_records", trace.dropped());
-    topUp("trace.truncated_spans", trace.truncatedSpans());
+    topUp("trace.health.dropped_records", trace.dropped());
+    topUp("trace.health.truncated_spans", trace.truncatedSpans());
 }
 
 void

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "sim/stats.hh"
+#include "sim/timeline.hh"
 #include "sim/types.hh"
 #include "sim/units.hh"
 
@@ -407,16 +408,23 @@ class TraceSink
  * loadable in ui.perfetto.dev / chrome://tracing. Each track becomes
  * a thread named "cpu<N>"; timestamps convert to microseconds at the
  * machine frequency. Dropped records are reported in the metadata.
+ * When a timeline with stored samples is passed, its series are
+ * merged in as counter tracks ("ph":"C") so gauges render on the
+ * same Perfetto timeline as spans and flow arrows.
  */
 void writeChromeTrace(std::ostream &os, const TraceSink &sink,
                       const Frequency &freq,
-                      const std::string &process = "virtsim");
+                      const std::string &process = "virtsim",
+                      const TimelineSampler *timeline = nullptr);
 
-/** writeChromeTrace to a file. @return false if the file failed to
+/** writeChromeTrace to a file, warning on stderr when the sink lost
+ *  records (dropped or truncated spans) so a lossy trace is visible
+ *  without opening the JSON. @return false if the file failed to
  *  open (the failure is also logged). */
 bool exportChromeTrace(const std::string &path, const TraceSink &sink,
                        const Frequency &freq,
-                       const std::string &process = "virtsim");
+                       const std::string &process = "virtsim",
+                       const TimelineSampler *timeline = nullptr);
 
 /**
  * One level of the metrics hierarchy (machine, one VM, or one CPU):
@@ -451,6 +459,22 @@ class MetricsDomain
         histUsed.resize(hists.size());
         histUsed[i] = 1;
         return hists[i];
+    }
+
+    /**
+     * Read a counter's value without registering the tap. counter()
+     * marks the tap used — which adds a row to every later snapshot —
+     * so read-only consumers (timeline rate gauges sampling
+     * world-switch counts) must use this instead. Returns 0 for taps
+     * never registered in this domain. Never allocates.
+     */
+    std::uint64_t
+    value(TapId tap) const
+    {
+        const std::size_t i = tap.raw();
+        if (i >= counters.size() || !used[i])
+            return 0;
+        return counters[i].value();
     }
 
     /** Zero every counter and histogram; registered taps stay
@@ -607,13 +631,15 @@ class EventKernelProfiler
 
 /**
  * The observability bundle a Machine owns: trace sink + metrics +
- * event-kernel profiler, reset together between workload runs.
+ * event-kernel profiler + timeline sampler, reset together between
+ * workload runs.
  */
 struct Probe
 {
     TraceSink trace;
     MetricsRegistry metrics;
     EventKernelProfiler profiler;
+    TimelineSampler timeline;
 
     void
     reset()
@@ -621,6 +647,7 @@ struct Probe
         trace.clear();
         metrics.reset();
         profiler.reset();
+        timeline.resetSeries();
     }
 
     /**

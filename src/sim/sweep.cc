@@ -8,6 +8,9 @@
 #include <string>
 #include <thread>
 
+#include <limits>
+
+#include "sim/env.hh"
 #include "sim/log.hh"
 #include "sim/probe.hh"
 
@@ -17,12 +20,18 @@ int
 sweepJobs()
 {
     if (const char *env = std::getenv("VIRTSIM_JOBS")) {
-        char *end = nullptr;
-        const long v = std::strtol(env, &end, 10);
-        if (end == env || *end != '\0' || v < 1)
-            fatal("VIRTSIM_JOBS must be a positive integer, got \"",
-                  env, "\"");
-        return static_cast<int>(v);
+        // An explicitly empty VIRTSIM_JOBS is a user error, not a
+        // request for the hardware default (envPositiveCount treats
+        // empty as unset).
+        if (*env == '\0') {
+            fatal("VIRTSIM_JOBS must be a positive integer, "
+                  "got \"\"");
+        }
+        const auto v = envPositiveCount(
+            "VIRTSIM_JOBS",
+            static_cast<std::uint64_t>(
+                std::numeric_limits<int>::max()));
+        return static_cast<int>(*v);
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? static_cast<int>(hw) : 1;

@@ -368,11 +368,11 @@ TEST(Probe, SyncTraceHealthPublishesLossCounters)
     const MetricsSnapshot snap = probe.metrics.snapshot();
     bool saw_dropped = false, saw_truncated = false;
     for (const auto &c : snap.counters) {
-        if (c.name == "trace.dropped_records") {
+        if (c.name == "trace.health.dropped_records") {
             EXPECT_EQ(c.value, probe.trace.dropped());
             saw_dropped = true;
         }
-        if (c.name == "trace.truncated_spans") {
+        if (c.name == "trace.health.truncated_spans") {
             EXPECT_EQ(c.value, probe.trace.truncatedSpans());
             saw_truncated = true;
         }
