@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/appbench.hh"
+#include "core/fleet.hh"
 #include "core/microbench.hh"
 #include "core/netperf.hh"
 #include "core/testbed.hh"
@@ -280,6 +281,73 @@ BM_DeadTimelineTick(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_DeadTimelineTick);
+
+/** Cancel-heavy phases (timer retargets, teardown bursts) leave dead
+ *  entries in the heap; past the half-dead threshold cancel()
+ *  compacts in place. This measures the full churn cycle: bulk
+ *  schedule, 3/4 cancelled (crossing the compaction threshold), then
+ *  draining the survivors against a heap whose sift depth tracks the
+ *  live population. */
+void
+BM_EventQueueCancelCompact(benchmark::State &state)
+{
+    EventQueue eq;
+    std::vector<EventId> ids;
+    ids.reserve(4096);
+    std::uint64_t compactions = 0;
+    for (auto _ : state) {
+        ids.clear();
+        const Cycles base = eq.now() + 1;
+        for (int i = 0; i < 4096; ++i) {
+            ids.push_back(eq.scheduleAt(
+                base + static_cast<Cycles>(i), [] {}));
+        }
+        for (int i = 0; i < 4096; ++i) {
+            if (i % 4 != 0)
+                eq.cancel(ids[static_cast<std::size_t>(i)]);
+        }
+        eq.run();
+        compactions = eq.compactions();
+    }
+    benchmark::DoNotOptimize(compactions);
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_EventQueueCancelCompact);
+
+/** The sharded kernel on the 4-CPU netperf RR fleet world. Serial
+ *  (one lane) vs four lanes; the modelled results are byte-identical
+ *  (asserted in test_shard), so the pair isolates the wall-clock
+ *  effect of conservative-lookahead parallel rounds.
+ *  bench_compare.sh reports the serial/sharded ratio as its speedup
+ *  line; the parallel win only materializes on a multicore host. */
+void
+shardedFleetBench(benchmark::State &state, int lanes)
+{
+    FleetConfig cfg; // 4 CPUs x 32 conns x 250 transactions
+    std::uint64_t tx = 0;
+    for (auto _ : state) {
+        const FleetResult r = runNetperfRrFleet(cfg, lanes);
+        tx = r.transactions;
+        benchmark::DoNotOptimize(tx);
+        benchmark::DoNotOptimize(r.checksum);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(tx));
+}
+
+void
+BM_ShardedKernelSerial(benchmark::State &state)
+{
+    shardedFleetBench(state, 1);
+}
+BENCHMARK(BM_ShardedKernelSerial)->Unit(benchmark::kMillisecond);
+
+void
+BM_ShardedKernelShards4(benchmark::State &state)
+{
+    shardedFleetBench(state, 4);
+}
+BENCHMARK(BM_ShardedKernelShards4)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

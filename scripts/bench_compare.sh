@@ -109,6 +109,16 @@ if missing:
     for name in missing:
         print(f"  MISSING: {name}", file=sys.stderr)
 
+# Informational: the sharded-kernel parallel win on this host. The
+# two benches compute byte-identical results, so the ratio is pure
+# wall clock; expect >= 1.5x on a >= 4-core host and <= 1x on a
+# single core (the crew cannot beat serial without real CPUs).
+serial = cur.get("BM_ShardedKernelSerial")
+sharded = cur.get("BM_ShardedKernelShards4")
+if serial and sharded:
+    print(f"bench_compare: sharded-kernel speedup "
+          f"(serial / 4 lanes): {serial / sharded:.2f}x")
+
 sys.exit(1 if failed else 0)
 PYEOF
 

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * A multi-CPU netperf TCP_RR fleet: the sharded kernel's parallel
+ * showcase world.
+ *
+ * The paper's multicore experiments (Section V.C) run one netperf
+ * instance per core; this world models that shape directly — a bank
+ * of server CPUs each serving a set of persistent request/response
+ * connections from a client behind the 10 GbE wire. Unlike the
+ * single-flow testbed worlds (whose hypervisor run queues, backend
+ * rings and workload frontiers are all zero-latency coupled, so they
+ * must collapse onto one lane), the per-CPU request streams here only
+ * interact through the wire. That makes the wire's one-way latency a
+ * real conservative lookahead, so the per-CPU lanes genuinely run in
+ * parallel.
+ *
+ * Topology under VIRTSIM_SHARDS = N:
+ *  - lane 0: the client (all connections) and the device shard,
+ *  - PhysicalCpu i: lane i mod N (cpu 0 shares lane 0 with the
+ *    client),
+ *  - per-CPU channels "fleet.req.cpu<i>" (client -> cpu) and
+ *    "fleet.rsp.cpu<i>" (cpu -> client), lookahead = the wire's
+ *    one-way flight time.
+ *
+ * The machine's IPI channels are opted out (MachineShardPlan
+ * ::ipiChannels): nothing here sends an IPI, and their ~360-cycle
+ * lookahead would otherwise throttle every lane's horizon to IPI
+ * quanta instead of wire quanta.
+ *
+ * Every modelled quantity (per-connection RTT sums, CPU frontiers,
+ * the final clock) depends only on per-connection and per-CPU state,
+ * so results are byte-identical at any lane count — the determinism
+ * property the sharded kernel promises, and what test_shard verifies.
+ */
+
+#ifndef VIRTSIM_CORE_FLEET_HH
+#define VIRTSIM_CORE_FLEET_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace virtsim {
+
+/** Shape of the fleet workload. Defaults model the paper's 4-CPU
+ *  multicore point: 2.4 GHz ARM server, 12 us one-way wire. */
+struct FleetConfig
+{
+    /** Server CPUs (one netperf service per CPU). */
+    int nCpus = 4;
+    /** Persistent TCP_RR connections per server CPU. */
+    int connsPerCpu = 32;
+    /** Request/response transactions each connection performs. */
+    int transactionsPerConn = 250;
+    /** One-way wire latency in microseconds (client <-> server). */
+    double wireUs = 12.0;
+    /** Service body per request (protocol + application work). */
+    Cycles requestWork = 9000;
+    /** Client think time between a response and the next request. */
+    Cycles clientThink = 600;
+};
+
+/**
+ * What a fleet run produced.
+ *
+ * finalTime/transactions/totalRttCycles/checksum are modelled
+ * quantities: byte-identical at every lane count. rounds and
+ * parallelRounds describe the host-side execution and legitimately
+ * differ with the lane count — they are reported for telemetry and
+ * excluded from determinism comparisons.
+ */
+struct FleetResult
+{
+    Cycles finalTime = 0;
+    std::uint64_t transactions = 0;
+    std::uint64_t totalRttCycles = 0;
+    /** FNV-1a over every connection's (index, count, rtt-sum, last
+     *  completion) in fixed index order, then the final time. */
+    std::uint64_t checksum = 0;
+
+    std::uint64_t rounds = 0;         ///< host-side, lane-dependent
+    std::uint64_t parallelRounds = 0; ///< host-side, lane-dependent
+
+    bool
+    sameModelledResult(const FleetResult &o) const
+    {
+        return finalTime == o.finalTime &&
+               transactions == o.transactions &&
+               totalRttCycles == o.totalRttCycles &&
+               checksum == o.checksum;
+    }
+};
+
+/** Run the fleet on a sharded kernel with the given lane count
+ *  (1 = the serial kernel). */
+FleetResult runNetperfRrFleet(const FleetConfig &cfg, int lanes);
+
+} // namespace virtsim
+
+#endif // VIRTSIM_CORE_FLEET_HH

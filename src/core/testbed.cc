@@ -62,7 +62,8 @@ archOf(SutKind k)
 }
 
 Testbed::Testbed(TestbedConfig config)
-    : cfg(config), rng(config.seed),
+    : cfg(config), kern(shardLanes()), eq(kern.lane(0)),
+      rng(config.seed),
       net(NetstackCosts::linux(
           (archOf(config.kind) == Arch::Arm ? CostModel::armAtlas()
                                             : CostModel::x86Xeon())
@@ -71,10 +72,25 @@ Testbed::Testbed(TestbedConfig config)
     MachineConfig mc = archOf(cfg.kind) == Arch::Arm
                            ? MachineConfig::hpMoonshotM400()
                            : MachineConfig::dellR320();
-    server = std::make_unique<Machine>(eq, mc);
+    // Default plan: every CPU on the device lane. A classic testbed
+    // world is coupled end to end through zero-latency shared state
+    // (hypervisor run queues, backend rings, workload frontiers), so
+    // it must collapse onto one lane whatever VIRTSIM_SHARDS says;
+    // the declared channels then degenerate to plain scheduleAt and
+    // results stay byte-identical. core/fleet.hh builds the plan
+    // that spreads CPUs across lanes.
+    server = std::make_unique<Machine>(kern, MachineShardPlan{}, mc);
     wire_ = std::make_unique<Wire>(
         eq, server->stats(), server->freq().cycles(wireOneWayUs),
         &server->probe());
+    // Both wire legs are declared channels (the NIC-to-client edge
+    // of the shard model); with client and NIC on the device shard
+    // they resolve same-lane here.
+    wire_->bindChannels(
+        &kern.channel("wire.to_server", deviceShard, deviceShard,
+                      wire_->oneWayLatency()),
+        &kern.channel("wire.to_client", deviceShard, deviceShard,
+                      wire_->oneWayLatency()));
 
     wire_->setServerEndpoint([this](Cycles t, const Packet &pkt) {
         server->nic().receiveFromWire(t, pkt);
@@ -152,6 +168,14 @@ Testbed::applyObservability()
         !flamePath.empty() || !timelinePath.empty()) {
         eq.setProfiler(&server->probe().profiler);
     }
+    // Stamping order into the trace ring, timeline and profiler is a
+    // global side channel the parallel round path does not reproduce;
+    // force the serial path whenever any sink is armed. (Classic
+    // worlds run on one lane anyway; this is the policy the fleet
+    // world relies on.)
+    kern.setSerialFallback(timelineWanted || !tracePath.empty() ||
+                           !metricsPath.empty() || !flamePath.empty() ||
+                           !timelinePath.empty());
 }
 
 void
@@ -257,6 +281,12 @@ Testbed::~Testbed()
         // dump carries the anomaly verdict even when nobody keeps
         // the timeline file.
         tl.publishAnomalies(server->metrics());
+        // Shard health is lane-dependent by nature (round counts,
+        // per-lane horizons), so it only enters the snapshot on
+        // explicit request — the default export stays byte-identical
+        // at every VIRTSIM_SHARDS setting.
+        if (envPositiveCount("VIRTSIM_SHARD_STATS", 1))
+            kern.publishStats(server->metrics());
         const std::string path = perKindPath(metricsPath, cfg.kind);
         std::ofstream os(path);
         if (!os) {
@@ -298,7 +328,7 @@ Testbed::reset()
     // eq.reset() only runs capture destructors, never the callbacks.
     hv.reset();
     guestVm = nullptr;
-    eq.reset();
+    kern.reset();
     server->reset();
 
     // An attribution() user enabled the sink and attached the
@@ -434,6 +464,9 @@ Testbed::buildVirtualized()
             onVmRx(t, pkt);
     };
 
+    // Backend wake and kick edges join the kernel's channel table
+    // (idempotent across reset rebuilds).
+    hv->declareShardChannels(kern);
     hv->start();
 }
 

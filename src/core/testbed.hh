@@ -97,6 +97,16 @@ class Testbed
 
     const TestbedConfig &config() const { return cfg; }
     EventQueue &queue() { return eq; }
+
+    /** The sharded event kernel the testbed runs on (lane count from
+     *  VIRTSIM_SHARDS). Every component of a classic testbed world
+     *  lives on lane 0 — hypervisor run queues, backend rings and the
+     *  workload surface share state at zero latency, which the
+     *  sharding model only permits within one lane — so execution and
+     *  output are byte-identical at every VIRTSIM_SHARDS value. The
+     *  multi-lane fleet world (core/fleet.hh) is where extra lanes
+     *  carry real work. */
+    ShardedEventKernel &kernel() { return kern; }
     Machine &machine() { return *server; }
     Random &random() { return rng; }
     Probe &probe() { return server->probe(); }
@@ -205,14 +215,14 @@ class Testbed
     Cycles wireLatency() const { return wire_->oneWayLatency(); }
     ///@}
 
-    /** Drain the event queue. @return final simulated time. */
+    /** Drain the event kernel. @return final simulated time. */
     Cycles
     run()
     {
         // One predicted branch when sampling is off; otherwise arm
         // the first sampling tick before the queue starts draining.
         server->probe().timeline.ensureScheduled(eq);
-        return eq.run();
+        return kern.run();
     }
 
     /** The machine's timeline sampler (gauge series + watchdog). */
@@ -250,7 +260,9 @@ class Testbed
     Vcpu &vcpuOf(int lcpu);
 
     TestbedConfig cfg;
-    EventQueue eq;
+    /** Declared before eq: eq aliases lane 0. */
+    ShardedEventKernel kern;
+    EventQueue &eq;
     Random rng;
     std::unique_ptr<Machine> server;
     std::unique_ptr<Hypervisor> hv;

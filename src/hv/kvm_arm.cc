@@ -406,6 +406,26 @@ KvmArm::ioSignalIn(Cycles t, Vcpu &v, Done done)
 }
 
 void
+KvmArm::declareShardChannels(ShardedEventKernel &kern)
+{
+    if (!_vhost)
+        return;
+    const VhostBackend::Params &vp = _vhost->params();
+    // Softirq-to-worker rx handoff: zero modelled latency, so the
+    // host IRQ CPU and the vhost worker must share a lane (the kernel
+    // checks at declaration).
+    _vhost->bindWakeChannel(
+        &kern.channel("vhost.wake", cpuShard(vp.hostIrqPcpu),
+                      cpuShard(vp.workerPcpu), 0));
+    // Guest tx kick: any VCPU may trap and signal the ioeventfd; the
+    // kthread notify latency is the conservative lookahead that lets
+    // the kick cross lanes.
+    chIoeventfd = &kern.channel("kvm.ioeventfd", anyShard,
+                                cpuShard(vp.workerPcpu),
+                                params.vhostNotifyLatency);
+}
+
+void
 KvmArm::attachVirtualNic(Vm &vm, VhostBackend::Params vp)
 {
     VIRTSIM_ASSERT(!_vhost, "only one virtual NIC supported");
@@ -519,7 +539,11 @@ KvmArm::guestTransmit(Cycles t, Vcpu &v, const Packet &pkt, Done done)
     trace().span(t0, t3, kvmTaps().txKick, TraceCat::Io,
                  static_cast<std::uint16_t>(v.pcpu()), pkt.seq);
     txPumpActive = true;
-    queue().scheduleAt(t3, [this, t3] { pumpTx(t3); });
+    EventFn kick = [this, t3] { pumpTx(t3); };
+    if (chIoeventfd)
+        chIoeventfd->send(t3, std::move(kick));
+    else
+        queue().scheduleAt(t3, std::move(kick));
 }
 
 void

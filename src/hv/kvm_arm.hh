@@ -97,6 +97,7 @@ class KvmArm : public Hypervisor
                  const std::vector<PcpuId> &pinning) override;
     void start() override;
     TapId worldSwitchTap() const override;
+    void declareShardChannels(ShardedEventKernel &kern) override;
 
     void hypercall(Cycles t, Vcpu &v, Done done) override;
     void irqControllerTrap(Cycles t, Vcpu &v, Done done) override;
@@ -163,6 +164,9 @@ class KvmArm : public Hypervisor
     /** Receiver-side actions waiting for a reschedule SGI, per CPU. */
     std::vector<std::deque<std::function<void(Cycles)>>> kickActions;
     std::unique_ptr<VhostBackend> _vhost;
+    /** Guest-kick-to-worker channel ("kvm.ioeventfd"); null until
+     *  declareShardChannels. */
+    ShardChannel *chIoeventfd = nullptr;
     Vm *netVm = nullptr;
     NetstackCosts net;
     /** Per-packet transmit completions, keyed by packet seq. */

@@ -337,6 +337,22 @@ KvmX86::ioSignalIn(Cycles t, Vcpu &v, Done done)
 }
 
 void
+KvmX86::declareShardChannels(ShardedEventKernel &kern)
+{
+    if (!_vhost)
+        return;
+    const VhostBackend::Params &vp = _vhost->params();
+    // Same channel set as KVM ARM: the vhost architecture is
+    // identical, only the transition costs differ.
+    _vhost->bindWakeChannel(
+        &kern.channel("vhost.wake", cpuShard(vp.hostIrqPcpu),
+                      cpuShard(vp.workerPcpu), 0));
+    chIoeventfd = &kern.channel("kvm.ioeventfd", anyShard,
+                                cpuShard(vp.workerPcpu),
+                                params.vhostNotifyLatency);
+}
+
+void
 KvmX86::attachVirtualNic(Vm &vm, VhostBackend::Params vp)
 {
     VIRTSIM_ASSERT(!_vhost, "only one virtual NIC supported");
@@ -428,7 +444,11 @@ KvmX86::guestTransmit(Cycles t, Vcpu &v, const Packet &pkt, Done done)
     PhysicalCpu &worker = mach.cpu(_vhost->params().workerPcpu);
     const Cycles t3 = worker.charge(t2, params.vhostNotifyLatency);
     txPumpActive = true;
-    queue().scheduleAt(t3, [this, t3] { pumpTx(t3); });
+    EventFn kick = [this, t3] { pumpTx(t3); };
+    if (chIoeventfd)
+        chIoeventfd->send(t3, std::move(kick));
+    else
+        queue().scheduleAt(t3, std::move(kick));
 }
 
 void

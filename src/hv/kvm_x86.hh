@@ -78,6 +78,7 @@ class KvmX86 : public Hypervisor
                  const std::vector<PcpuId> &pinning) override;
     void start() override;
     TapId worldSwitchTap() const override;
+    void declareShardChannels(ShardedEventKernel &kern) override;
 
     void hypercall(Cycles t, Vcpu &v, Done done) override;
     void irqControllerTrap(Cycles t, Vcpu &v, Done done) override;
@@ -129,6 +130,9 @@ class KvmX86 : public Hypervisor
     std::map<VmId, std::unique_ptr<VgicDistributor>> dists;
     std::vector<std::deque<std::function<void(Cycles)>>> kickActions;
     std::unique_ptr<VhostBackend> _vhost;
+    /** Guest-kick-to-worker channel ("kvm.ioeventfd"); null until
+     *  declareShardChannels. */
+    ShardChannel *chIoeventfd = nullptr;
     Vm *netVm = nullptr;
     NetstackCosts net;
     std::map<std::uint64_t, Done> txDone;

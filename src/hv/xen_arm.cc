@@ -458,6 +458,21 @@ XenArm::ioSignalIn(Cycles t, Vcpu &v, Done done)
 }
 
 void
+XenArm::declareShardChannels(ShardedEventKernel &kern)
+{
+    if (!_netback)
+        return;
+    const NetbackBackend::Params &np = _netback->params();
+    // NAPI-to-kthread rx handoff inside Dom0: zero modelled latency
+    // on one CPU, so both endpoints resolve to Dom0's lane. The
+    // frontend's tx kick crosses CPUs as a physical SGI and already
+    // rides the machine's per-CPU IPI channels.
+    _netback->bindWakeChannel(
+        &kern.channel("netback.wake", cpuShard(np.dom0Pcpu),
+                      cpuShard(np.dom0Pcpu), 0));
+}
+
+void
 XenArm::attachVirtualNic(Vm &vm, NetbackBackend::Params np)
 {
     VIRTSIM_ASSERT(!_netback, "only one virtual NIC supported");

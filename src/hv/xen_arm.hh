@@ -90,6 +90,7 @@ class XenArm : public Hypervisor
                  const std::vector<PcpuId> &pinning) override;
     void start() override;
     TapId worldSwitchTap() const override;
+    void declareShardChannels(ShardedEventKernel &kern) override;
 
     void hypercall(Cycles t, Vcpu &v, Done done) override;
     void irqControllerTrap(Cycles t, Vcpu &v, Done done) override;

@@ -398,6 +398,19 @@ XenX86::ioSignalIn(Cycles t, Vcpu &v, Done done)
 }
 
 void
+XenX86::declareShardChannels(ShardedEventKernel &kern)
+{
+    if (!_netback)
+        return;
+    const NetbackBackend::Params &np = _netback->params();
+    // Same channel as Xen ARM: all netback work happens on Dom0's
+    // CPU; only the tx kick crosses CPUs, via the IPI channels.
+    _netback->bindWakeChannel(
+        &kern.channel("netback.wake", cpuShard(np.dom0Pcpu),
+                      cpuShard(np.dom0Pcpu), 0));
+}
+
+void
 XenX86::attachVirtualNic(Vm &vm, NetbackBackend::Params np)
 {
     VIRTSIM_ASSERT(!_netback, "only one virtual NIC supported");

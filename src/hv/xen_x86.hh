@@ -85,6 +85,7 @@ class XenX86 : public Hypervisor
                  const std::vector<PcpuId> &pinning) override;
     void start() override;
     TapId worldSwitchTap() const override;
+    void declareShardChannels(ShardedEventKernel &kern) override;
 
     void hypercall(Cycles t, Vcpu &v, Done done) override;
     void irqControllerTrap(Cycles t, Vcpu &v, Done done) override;

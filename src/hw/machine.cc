@@ -54,6 +54,62 @@ Machine::Machine(EventQueue &eq, MachineConfig config)
     registerTimelineGauges();
 }
 
+Machine::Machine(ShardedEventKernel &kern,
+                 const MachineShardPlan &plan, MachineConfig config)
+    : cfg(std::move(config)), eq(kern.lane(plan.deviceLane)),
+      _mmu(cfg.costs, _stats, cfg.nCpus, &_probe),
+      _memory(cfg.costs, _stats)
+{
+    VIRTSIM_ASSERT(cfg.nCpus > 0, "machine needs at least one cpu");
+    VIRTSIM_ASSERT(plan.cpuLane.empty() ||
+                       static_cast<int>(plan.cpuLane.size()) ==
+                           cfg.nCpus,
+                   "shard plan covers ", plan.cpuLane.size(),
+                   " cpus, machine has ", cfg.nCpus);
+
+    kern.assignShard(deviceShard, plan.deviceLane);
+    std::vector<EventQueue *> cpuQs;
+    std::vector<int> cpuLanes;
+    for (int i = 0; i < cfg.nCpus; ++i) {
+        const int lane = plan.laneFor(i);
+        kern.assignShard(cpuShard(i), lane);
+        cpuQs.push_back(&kern.lane(lane));
+        cpuLanes.push_back(lane);
+        cpus.push_back(std::make_unique<PhysicalCpu>(
+            i, kern.lane(lane), cfg.costs));
+    }
+
+    if (cfg.costs.arch == Arch::Arm) {
+        chip = std::make_unique<Gic>(eq, cfg.costs, _stats, cfg.nCpus,
+                                     &_probe);
+    } else {
+        chip = std::make_unique<Apic>(eq, cfg.costs, _stats, cfg.nCpus,
+                                      &_probe);
+    }
+
+    // Every IPI, regardless of sender, flows through the target CPU's
+    // declared channel; the flight time is the conservative lookahead
+    // that lets IPIs cross lanes. Worlds that never send cross-lane
+    // IPIs opt out via the plan so the tight ipiFlight lookahead does
+    // not throttle every lane's horizon.
+    std::vector<ShardChannel *> ipi;
+    if (plan.ipiChannels) {
+        for (int i = 0; i < cfg.nCpus; ++i) {
+            ipi.push_back(&kern.channel("ipi.cpu" + std::to_string(i),
+                                        anyShard, cpuShard(i),
+                                        cfg.costs.ipiFlight));
+        }
+    }
+    chip->bindShards(std::move(cpuQs), std::move(cpuLanes),
+                     std::move(ipi));
+
+    _timers = std::make_unique<TimerBank>(eq, *chip, cfg.nCpus);
+    _nic = std::make_unique<Nic>(eq, *chip, _stats, cfg.costs.freq,
+                                 cfg.nicParams);
+
+    registerTimelineGauges();
+}
+
 void
 Machine::registerTimelineGauges()
 {

@@ -25,6 +25,7 @@
 #include "hw/vtimer.hh"
 #include "sim/event_queue.hh"
 #include "sim/probe.hh"
+#include "sim/shard.hh"
 #include "sim/stats.hh"
 
 namespace virtsim {
@@ -48,12 +49,61 @@ struct MachineConfig
 };
 
 /**
+ * How a machine's components map onto the shards of a sharded kernel
+ * (sim/shard.hh). The standard assignment gives PhysicalCpu i shard
+ * 1+i and the device side (NIC, timers, wire, client) shard 0; this
+ * plan then says which *lane* each of those shards runs on. The
+ * default plan (everything on one lane) reproduces the serial kernel
+ * exactly. Any two components coupled through zero-latency shared
+ * state — a hypervisor's run queues, vhost worker and vring, client
+ * and server of a MAERTS stream — must share a lane; only the
+ * channel-mediated interactions (IPIs, the wire) may cross lanes.
+ */
+struct MachineShardPlan
+{
+    /** Lane of PhysicalCpu i; empty = every CPU on deviceLane. */
+    std::vector<int> cpuLane;
+    /** Lane of shard 0 (devices, wire, client). */
+    int deviceLane = 0;
+    /**
+     * Declare the per-CPU from-any IPI channels. The channels are
+     * what lets IPIs cross lanes, but their lookahead (ipiFlight,
+     * ~360 cycles) is the tightest latency in the machine, so the
+     * conservative horizon of every lane shrinks to IPI quanta even
+     * in worlds that never send one. A world that routes all of its
+     * cross-CPU interaction through its own channels and sends no
+     * cross-lane IPIs may opt out; the delivery-queue lane assert
+     * still catches an IPI that then tries to cross lanes.
+     */
+    bool ipiChannels = true;
+
+    int
+    laneFor(PcpuId cpu) const
+    {
+        return cpuLane.empty()
+                   ? deviceLane
+                   : cpuLane[static_cast<std::size_t>(cpu)];
+    }
+};
+
+/**
  * A running machine instance.
  */
 class Machine
 {
   public:
     Machine(EventQueue &eq, MachineConfig config);
+
+    /**
+     * Shard-aware construction: CPUs schedule on the lanes the plan
+     * assigns, the interrupt chip's IPIs travel through declared
+     * from-any channels (lookahead = ipiFlight), and the machine's
+     * shards are registered with the kernel. With a default plan and
+     * a single-lane kernel this is behaviorally identical to the
+     * EventQueue constructor.
+     */
+    Machine(ShardedEventKernel &kern, const MachineShardPlan &plan,
+            MachineConfig config);
 
     Machine(const Machine &) = delete;
     Machine &operator=(const Machine &) = delete;
@@ -65,6 +115,10 @@ class Machine
 
     EventQueue &queue() { return eq; }
     StatRegistry &stats() { return _stats; }
+
+    /** Queue PhysicalCpu `id` schedules on (its lane queue under a
+     *  shard plan; the machine queue otherwise). */
+    EventQueue &cpuQueue(PcpuId id) { return cpu(id).queue(); }
 
     /** Observability bundle (trace sink + metrics + profiler). */
     Probe &probe() { return _probe; }

@@ -13,13 +13,17 @@ Wire::sendToServer(Cycles t, const Packet &pkt)
     std::uint64_t token = 0;
     if (probe)
         token = probe->trace.edgeOut(t, edgeWireTap(), TraceCat::Io);
-    eq.scheduleAt(t + latency, [this, t, pkt, token] {
+    EventFn deliver = [this, t, pkt, token] {
         if (probe) {
             probe->trace.edgeIn(t + latency, token, edgeWireTap(),
                                 TraceCat::Io);
         }
         toServer(t + latency, pkt);
-    });
+    };
+    if (chToServer)
+        chToServer->send(t + latency, std::move(deliver));
+    else
+        eq.scheduleAt(t + latency, std::move(deliver));
 }
 
 void
@@ -30,13 +34,17 @@ Wire::sendToClient(Cycles t, const Packet &pkt)
     std::uint64_t token = 0;
     if (probe)
         token = probe->trace.edgeOut(t, edgeWireTap(), TraceCat::Io);
-    eq.scheduleAt(t + latency, [this, t, pkt, token] {
+    EventFn deliver = [this, t, pkt, token] {
         if (probe) {
             probe->trace.edgeIn(t + latency, token, edgeWireTap(),
                                 TraceCat::Io);
         }
         toClient(t + latency, pkt);
-    });
+    };
+    if (chToClient)
+        chToClient->send(t + latency, std::move(deliver));
+    else
+        eq.scheduleAt(t + latency, std::move(deliver));
 }
 
 } // namespace virtsim

@@ -16,6 +16,7 @@
 #include <functional>
 
 #include "hw/nic.hh"
+#include "sim/channel.hh"
 #include "sim/event_queue.hh"
 #include "sim/probe.hh"
 #include "sim/stats.hh"
@@ -43,6 +44,20 @@ class Wire
     void setServerEndpoint(Endpoint e) { toServer = std::move(e); }
     void setClientEndpoint(Endpoint e) { toClient = std::move(e); }
 
+    /**
+     * Route the two wire legs through declared shard channels
+     * (lookahead = the one-way latency) instead of the raw queue.
+     * The harness declares them so the wire's causal edges double as
+     * the client<->server lookahead when the simulation is sharded;
+     * unbound wires (unit tests) keep scheduling on their own queue.
+     */
+    void
+    bindChannels(ShardChannel *to_server, ShardChannel *to_client)
+    {
+        chToServer = to_server;
+        chToClient = to_client;
+    }
+
     /** Client -> server direction. */
     void sendToServer(Cycles t, const Packet &pkt);
 
@@ -58,6 +73,8 @@ class Wire
     Probe *probe; ///< may be null (standalone wire)
     Endpoint toServer;
     Endpoint toClient;
+    ShardChannel *chToServer = nullptr; ///< may be null (unbound)
+    ShardChannel *chToClient = nullptr; ///< may be null (unbound)
 };
 
 } // namespace virtsim

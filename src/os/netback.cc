@@ -98,7 +98,11 @@ NetbackBackend::dom0RxToDomU(Cycles t, const Packet &pkt,
     rxPumpActive = true;
     PhysicalCpu &cpu = mach.cpu(p.dom0Pcpu);
     const Cycles start = std::max(t, cpu.frontier());
-    mach.queue().scheduleAt(start, [this, start] { pumpRx(start); });
+    EventFn wake = [this, start] { pumpRx(start); };
+    if (wakeCh)
+        wakeCh->send(start, std::move(wake));
+    else
+        mach.queue().scheduleAt(start, std::move(wake));
 }
 
 void

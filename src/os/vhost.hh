@@ -23,6 +23,7 @@
 #include "hv/virtio.hh"
 #include "hw/machine.hh"
 #include "os/netstack.hh"
+#include "sim/channel.hh"
 #include "sim/types.hh"
 
 namespace virtsim {
@@ -93,6 +94,15 @@ class VhostBackend
 
     const Params &params() const { return p; }
 
+    /**
+     * Route the softirq-to-worker wakeup through a declared shard
+     * channel. The handoff has zero modelled latency, so the IRQ CPU
+     * and the worker CPU must share a lane (the sharded kernel
+     * enforces this at declaration). Unbound backends schedule on the
+     * machine queue, exactly as before.
+     */
+    void bindWakeChannel(ShardChannel *ch) { wakeCh = ch; }
+
     /** Depth of the rx work queue (for tests). */
     std::size_t rxBacklogDepth() const { return rxJobs.size(); }
 
@@ -116,6 +126,7 @@ class VhostBackend
     VirtioQueue rx;
     VirtioQueue tx;
     std::deque<RxJob> rxJobs;
+    ShardChannel *wakeCh = nullptr;
     bool rxPumpActive = false;
     static constexpr std::size_t rxJobCap = 256;
     Cycles lastRxAt = 0;

@@ -67,6 +67,40 @@ EventQueue::purgeTop()
     }
 }
 
+void
+EventQueue::compact()
+{
+    // Keep only entries whose slot generation still matches (live),
+    // then rebuild heap order bottom-up (Floyd): O(n) over the live
+    // population, versus O(dead * log n) to drain them via purgeTop.
+    std::size_t out = 0;
+    for (const HeapEntry &e : heap) {
+        if (slotAt(e.slot).gen == e.gen)
+            heap[out++] = e;
+    }
+    heap.resize(out);
+    deadCount = 0;
+    if (!heap.empty()) {
+        for (std::size_t i = (heap.size() - 1) / heapArity + 1; i-- > 0;)
+            siftDown(i);
+    }
+    ++_compactions;
+}
+
+std::size_t
+EventQueue::runBefore(Cycles bound)
+{
+    std::size_t fired = 0;
+    for (;;) {
+        purgeTop();
+        if (heap.empty() || heap.front().when >= bound)
+            break;
+        step();
+        ++fired;
+    }
+    return fired;
+}
+
 Cycles
 EventQueue::run()
 {

@@ -57,6 +57,10 @@ using EventId = std::uint64_t;
 /** Never names an event. */
 inline constexpr EventId invalidEventId = 0;
 
+/** Returned by EventQueue::nextEventTime() when nothing is pending;
+ *  later than any representable event time. */
+inline constexpr Cycles noPendingEvent = ~Cycles{0};
+
 /**
  * A deterministic min-heap event queue keyed on (time, sequence).
  */
@@ -132,8 +136,12 @@ class EventQueue
     void setProfiler(EventKernelProfiler *p) { profiler = p; }
 
     /**
-     * Cancel a pending event in O(1). The slot is recycled
-     * immediately; the heap entry is discarded lazily.
+     * Cancel a pending event in O(1) amortized. The slot is recycled
+     * immediately; the heap entry is discarded lazily. When dead
+     * entries come to outnumber live ones (cancel-heavy phases: timer
+     * churn, teardown bursts), the heap is compacted in place so
+     * sift depth tracks the live population instead of the cancel
+     * history.
      * @return true if the event was still pending (and is now gone);
      *         false for already-fired, already-cancelled, or cleared
      *         events (stale handles are harmless).
@@ -151,7 +159,56 @@ class EventQueue
         releaseSlot(slot, s);
         --liveCount;
         ++deadCount;
+        if (deadCount * 2 > heap.size() && heap.size() >= compactFloor)
+            compact();
         return true;
+    }
+
+    /** Cancelled entries still occupying heap slots (reclaimed by
+     *  compaction or as they surface). */
+    std::size_t deadEntries() const { return deadCount; }
+
+    /** Heap slots in use, live plus dead (for hygiene tests). */
+    std::size_t heapSize() const { return heap.size(); }
+
+    /** Times the heap was compacted to purge dead entries. */
+    std::uint64_t compactions() const { return _compactions; }
+
+    /**
+     * Earliest pending event's timestamp, or noPendingEvent when the
+     * queue is drained. Dead entries surfacing at the top are purged
+     * as a side effect. This is the lane-clock probe the sharded
+     * kernel's conservative horizon computation is built on.
+     */
+    Cycles
+    nextEventTime()
+    {
+        purgeTop();
+        return heap.empty() ? noPendingEvent : heap.front().when;
+    }
+
+    /**
+     * Fire every event with timestamp strictly below bound, leaving
+     * the clock at the last fired event (unlike runUntil, the clock
+     * is NOT advanced to the bound). Used by the sharded kernel to
+     * advance one lane to its conservative horizon: events at or past
+     * the bound might still be preceded by a cross-shard message.
+     * @return number of events fired.
+     */
+    std::size_t runBefore(Cycles bound);
+
+    /**
+     * Advance the clock to t without firing anything.
+     * @pre no pending event earlier than t. No-op when already past.
+     */
+    void
+    advanceClockTo(Cycles t)
+    {
+        VIRTSIM_ASSERT(nextEventTime() >= t,
+                       "advanceClockTo(", t, ") would skip an event at ",
+                       nextEventTime());
+        if (_now < t)
+            _now = t;
     }
 
     /**
@@ -218,6 +275,9 @@ class EventQueue
     };
 
     static constexpr std::size_t heapArity = 4;
+    /** Minimum heap size before cancel() considers compaction; below
+     *  this, dead entries drain fast enough through purgeTop(). */
+    static constexpr std::size_t compactFloor = 64;
     /** Slots per arena chunk; chunks are allocated on demand and
      *  never move or shrink. */
     static constexpr std::size_t chunkShift = 6;
@@ -273,6 +333,8 @@ class EventQueue
     void popTop();
     /** Discard cancelled entries surfacing at the top. */
     void purgeTop();
+    /** Drop every dead entry and re-heapify the survivors. */
+    void compact();
     void siftUp(std::size_t pos);
     void siftDown(std::size_t pos);
 
@@ -288,6 +350,7 @@ class EventQueue
     std::size_t deadCount = 0;            ///< cancelled entries in heap
     Cycles _now = 0;
     std::uint64_t nextSeq = 0;
+    std::uint64_t _compactions = 0;
     EventKernelProfiler *profiler = nullptr;
 };
 

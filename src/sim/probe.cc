@@ -336,6 +336,19 @@ MetricsRegistry::cpu(int pcpu)
 }
 
 void
+MetricsRegistry::prepareForParallel(int nCpus)
+{
+    const std::size_t taps = internedTapCount();
+    if (nCpus > 0)
+        cpu(nCpus - 1); // materialize cpu:0 .. cpu:nCpus-1
+    _machine->prepareForParallel(taps);
+    for (auto &[key, dom] : _vms)
+        dom->prepareForParallel(taps);
+    for (auto &dom : _cpus)
+        dom->prepareForParallel(taps);
+}
+
+void
 MetricsRegistry::reset()
 {
     _machine->reset();

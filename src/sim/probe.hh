@@ -426,11 +426,41 @@ bool exportChromeTrace(const std::string &path, const TraceSink &sink,
                        const std::string &process = "virtsim",
                        const TimelineSampler *timeline = nullptr);
 
+/** A copyable relaxed-atomic byte flag. Used for MetricsDomain's
+ *  used-tap marks so concurrent shard lanes can register the same tap
+ *  without a data race, while the flag array stays resizable (plain
+ *  std::atomic is not copy-insertable into a vector). */
+struct RelaxedFlag
+{
+    RelaxedFlag() = default;
+    RelaxedFlag(const RelaxedFlag &o)
+        : v(o.v.load(std::memory_order_relaxed))
+    {}
+    RelaxedFlag &
+    operator=(const RelaxedFlag &o)
+    {
+        v.store(o.v.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+        return *this;
+    }
+
+    void set() { v.store(1, std::memory_order_relaxed); }
+    bool get() const { return v.load(std::memory_order_relaxed) != 0; }
+
+    std::atomic<std::uint8_t> v{0};
+};
+
 /**
  * One level of the metrics hierarchy (machine, one VM, or one CPU):
  * counters and bounded-memory cycle histograms keyed by TapId.
  * Lookup is an array index off the tap id — cheap enough to leave on
  * unconditionally in hypervisor paths.
+ *
+ * Concurrency contract under the sharded kernel: after
+ * prepareForParallel() the counter() path performs no vector growth,
+ * so lanes may bump counters in a shared domain concurrently (Counter
+ * is internally atomic, the used-flag store is relaxed atomic).
+ * Histograms are NOT lane-safe and must stay confined to one lane.
  */
 class MetricsDomain
 {
@@ -443,21 +473,42 @@ class MetricsDomain
     counter(TapId tap)
     {
         const std::size_t i = tap.raw();
-        if (i >= counters.size())
+        if (i >= counters.size()) {
             counters.resize(i + 1);
-        used.resize(counters.size());
-        used[i] = 1;
+            used.resize(counters.size());
+        }
+        used[i].set();
         return counters[i];
+    }
+
+    /**
+     * Pre-size the tap-indexed arrays to cover ids [0, tapCount), so
+     * later counter()/histogram() calls never reallocate. Must be
+     * called (with internedTapCount()) before this domain is touched
+     * from concurrent shard lanes.
+     */
+    void
+    prepareForParallel(std::size_t tapCount)
+    {
+        if (counters.size() < tapCount + 1) {
+            counters.resize(tapCount + 1);
+            used.resize(counters.size());
+        }
+        if (hists.size() < tapCount + 1) {
+            hists.resize(tapCount + 1);
+            histUsed.resize(hists.size());
+        }
     }
 
     HistogramStat &
     histogram(TapId tap)
     {
         const std::size_t i = tap.raw();
-        if (i >= hists.size())
+        if (i >= hists.size()) {
             hists.resize(i + 1);
-        histUsed.resize(hists.size());
-        histUsed[i] = 1;
+            histUsed.resize(hists.size());
+        }
+        histUsed[i].set();
         return hists[i];
     }
 
@@ -472,7 +523,7 @@ class MetricsDomain
     value(TapId tap) const
     {
         const std::size_t i = tap.raw();
-        if (i >= counters.size() || !used[i])
+        if (i >= counters.size() || !used[i].get())
             return 0;
         return counters[i].value();
     }
@@ -487,7 +538,7 @@ class MetricsDomain
     forEachCounter(Fn &&fn) const
     {
         for (std::size_t i = 0; i < counters.size(); ++i) {
-            if (used[i]) {
+            if (used[i].get()) {
                 fn(TapId::fromRaw(static_cast<std::uint32_t>(i)),
                    counters[i].value());
             }
@@ -500,7 +551,7 @@ class MetricsDomain
     forEachHistogram(Fn &&fn) const
     {
         for (std::size_t i = 0; i < hists.size(); ++i) {
-            if (histUsed[i]) {
+            if (histUsed[i].get()) {
                 fn(TapId::fromRaw(static_cast<std::uint32_t>(i)),
                    hists[i]);
             }
@@ -510,9 +561,9 @@ class MetricsDomain
   private:
     std::string _name;
     std::vector<Counter> counters;
-    std::vector<std::uint8_t> used;
+    std::vector<RelaxedFlag> used;
     std::vector<HistogramStat> hists;
-    std::vector<std::uint8_t> histUsed;
+    std::vector<RelaxedFlag> histUsed;
 };
 
 /** Deterministic, name-sorted snapshot of a MetricsRegistry. */
@@ -574,6 +625,15 @@ class MetricsRegistry
 
     /** Per-physical-CPU domain (rendered as "cpu:<N>"). */
     MetricsDomain &cpu(int pcpu);
+
+    /**
+     * Pre-create the per-CPU domains for nCpus CPUs and pre-size
+     * every existing domain for all currently interned taps, so no
+     * domain lookup or counter registration allocates afterwards.
+     * Call once (from one thread) before shard lanes run in parallel;
+     * has no effect on snapshot contents.
+     */
+    void prepareForParallel(int nCpus);
 
     /** Zero all counters and histograms in every domain. */
     void reset();

@@ -1,0 +1,473 @@
+#include "sim/shard.hh"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "sim/env.hh"
+#include "sim/log.hh"
+#include "sim/probe.hh"
+#include "sim/sweep.hh"
+#include "sim/timeline.hh"
+
+namespace virtsim {
+
+namespace {
+
+/** Lane the current thread is executing events for; -1 outside lane
+ *  execution. Set around every runBefore() phase (parallel workers
+ *  and the serial round loop alike) so ShardChannel sends can infer
+ *  their source lane without threading a context argument through
+ *  every component. */
+thread_local int tl_current_lane = -1;
+
+/** RAII lane marker. */
+struct LaneScope
+{
+    explicit LaneScope(int lane) { tl_current_lane = lane; }
+    ~LaneScope() { tl_current_lane = -1; }
+};
+
+constexpr Cycles noBound = std::numeric_limits<Cycles>::max();
+
+} // namespace
+
+int
+shardLanes()
+{
+    // Cap well below anything sane; a typo like VIRTSIM_SHARDS=1e9
+    // should fail loudly, not allocate a billion queues.
+    const auto v = envPositiveCount("VIRTSIM_SHARDS", 1024);
+    return v ? static_cast<int>(*v) : 1;
+}
+
+int
+ShardedEventKernel::currentLane()
+{
+    return tl_current_lane;
+}
+
+ShardedEventKernel::ShardedEventKernel(int laneCount)
+{
+    VIRTSIM_ASSERT(laneCount >= 1, "kernel needs at least one lane");
+    lanes_.reserve(static_cast<std::size_t>(laneCount));
+    for (int i = 0; i < laneCount; ++i)
+        lanes_.push_back(std::make_unique<EventQueue>());
+    const auto n = static_cast<std::size_t>(laneCount);
+    minLook.assign(n * n, noBound);
+    mail.resize(n * n);
+    roundTarget.resize(n);
+    roundFired.resize(n);
+    st.lanes.resize(n);
+}
+
+ShardedEventKernel::~ShardedEventKernel()
+{
+    stopCrew();
+}
+
+void
+ShardedEventKernel::assignShard(ShardId shard, int lane)
+{
+    VIRTSIM_ASSERT(shard >= 0, "bad shard ", shard);
+    VIRTSIM_ASSERT(lane >= 0 && lane < laneCount(), "bad lane ", lane);
+    const auto s = static_cast<std::size_t>(shard);
+    if (shardLane.size() <= s)
+        shardLane.resize(s + 1, -1);
+    shardLane[s] = lane;
+}
+
+int
+ShardedEventKernel::laneOf(ShardId shard) const
+{
+    if (shard >= 0 &&
+        static_cast<std::size_t>(shard) < shardLane.size() &&
+        shardLane[static_cast<std::size_t>(shard)] >= 0) {
+        return shardLane[static_cast<std::size_t>(shard)];
+    }
+    return shard < 0 ? 0 : shard % laneCount();
+}
+
+void
+ShardedEventKernel::addLookahead(int srcLane, int dstLane, Cycles look)
+{
+    if (srcLane == dstLane)
+        return;
+    Cycles &slot = minLook[static_cast<std::size_t>(srcLane) *
+                               lanes_.size() +
+                           static_cast<std::size_t>(dstLane)];
+    slot = std::min(slot, look);
+}
+
+ShardChannel &
+ShardedEventKernel::channel(std::string name, ShardId src, ShardId dst,
+                            Cycles lookahead)
+{
+    const int dstLane = laneOf(dst);
+    bool cross = false;
+    if (src == anyShard) {
+        for (int l = 0; l < laneCount(); ++l) {
+            if (l != dstLane) {
+                cross = true;
+                addLookahead(l, dstLane, lookahead);
+            }
+        }
+    } else if (laneOf(src) != dstLane) {
+        cross = true;
+        addLookahead(laneOf(src), dstLane, lookahead);
+    }
+    VIRTSIM_ASSERT(!cross || lookahead > 0,
+                   "channel '", name, "' crosses lanes with zero ",
+                   "lookahead; conservative sync needs latency > 0");
+    // Redeclaration — a harness rebuilding its world on a long-lived
+    // kernel (testbed reset), possibly with retuned latencies — reuses
+    // the existing channel and keeps the tighter of the two
+    // lookaheads; the matrix update above already took the min, which
+    // is always the safe direction.
+    for (auto &ch : channels_) {
+        if (ch->_name == name) {
+            VIRTSIM_ASSERT(ch->src == src && ch->dst == dst,
+                           "channel '", name,
+                           "' redeclared with different endpoints");
+            ch->look = std::min(ch->look, lookahead);
+            return *ch;
+        }
+    }
+    channels_.push_back(std::unique_ptr<ShardChannel>(
+        new ShardChannel(this, std::move(name), src, dst, lookahead,
+                         dstLane, cross)));
+    return *channels_.back();
+}
+
+EventId
+ShardChannel::send(Cycles when, TapId label, EventFn fn)
+{
+    _sent.fetch_add(1, std::memory_order_relaxed);
+    return kern->channelSend(*this, when, label, std::move(fn));
+}
+
+EventId
+ShardedEventKernel::channelSend(ShardChannel &ch, Cycles when,
+                                TapId label, EventFn fn)
+{
+    const int dst = ch.dstLane();
+    const int cur = tl_current_lane;
+    if (cur < 0 || cur == dst) {
+        // Setup/coordinator context (single-threaded) or a same-lane
+        // send: exactly the serial kernel's scheduleAt.
+        return lane(dst).scheduleAt(when, label, std::move(fn));
+    }
+    EventQueue &src = lane(cur);
+    VIRTSIM_ASSERT(when >= src.now() + ch.lookahead(),
+                   "channel '", ch.name(), "' send at ", when,
+                   " violates declared lookahead ", ch.lookahead(),
+                   " from lane time ", src.now());
+    mailbox(cur, dst).msgs.push_back(
+        Pending{when, label, std::move(fn)});
+    return invalidEventId;
+}
+
+Cycles
+ShardedEventKernel::run()
+{
+    if (laneCount() == 1)
+        return lane(0).run();
+    return runRounds(false, 0);
+}
+
+Cycles
+ShardedEventKernel::runUntil(Cycles limit)
+{
+    if (laneCount() == 1)
+        return lane(0).runUntil(limit);
+    return runRounds(true, limit);
+}
+
+bool
+ShardedEventKernel::step()
+{
+    VIRTSIM_ASSERT(laneCount() == 1,
+                   "step() is single-lane only; multi-lane execution ",
+                   "is round-based");
+    return lane(0).step();
+}
+
+Cycles
+ShardedEventKernel::runRounds(bool bounded, Cycles limit)
+{
+    const int n = laneCount();
+    const bool parallelAllowed = !serialFallback && !inSweepTask();
+    std::vector<Cycles> nextEv(static_cast<std::size_t>(n));
+
+    for (;;) {
+        ++st.rounds;
+
+        // 1. Deterministic merge: drain mailboxes in (src, dst, send
+        //    order). Message times never precede the destination
+        //    lane's clock (safety argument in the header), so these
+        //    scheduleAt calls cannot go backwards.
+        for (int s = 0; s < n; ++s) {
+            for (int d = 0; d < n; ++d) {
+                Mailbox &mb = mailbox(s, d);
+                if (mb.msgs.empty())
+                    continue;
+                st.lanes[static_cast<std::size_t>(d)].msgsIn +=
+                    mb.msgs.size();
+                st.crossMsgs += mb.msgs.size();
+                for (Pending &p : mb.msgs) {
+                    lane(d).scheduleAt(p.when, p.label,
+                                       std::move(p.fn));
+                }
+                mb.msgs.clear();
+            }
+        }
+
+        // 2. Horizons.
+        Cycles minNext = noPendingEvent;
+        int activeLanes = 0;
+        for (int i = 0; i < n; ++i) {
+            const Cycles t = lane(i).nextEventTime();
+            nextEv[static_cast<std::size_t>(i)] = t;
+            if (t != noPendingEvent) {
+                ++activeLanes;
+                minNext = std::min(minNext, t);
+            }
+        }
+        if (minNext == noPendingEvent)
+            break; // drained, and the drain above emptied all mail
+        if (bounded && minNext > limit)
+            break;
+
+        for (int i = 0; i < n; ++i) {
+            Cycles target = noBound;
+            for (int j = 0; j < n; ++j) {
+                if (j == i)
+                    continue;
+                const Cycles look =
+                    minLook[static_cast<std::size_t>(j) *
+                                lanes_.size() +
+                            static_cast<std::size_t>(i)];
+                const Cycles tj = nextEv[static_cast<std::size_t>(j)];
+                if (look == noBound || tj == noPendingEvent)
+                    continue;
+                target = std::min(target, tj + look);
+            }
+            if (bounded && (target == noBound || target > limit))
+                target = limit + 1;
+            roundTarget[static_cast<std::size_t>(i)] = target;
+        }
+
+        // 3. Execute. The crew only earns its keep when two or more
+        //    lanes have work this round.
+        const bool parallel = parallelAllowed && activeLanes >= 2;
+        executePhase(parallel);
+        if (parallel)
+            ++st.parallelRounds;
+
+        // 4. Account. Stall = a lane that had a pending event inside
+        //    the bound but whose horizon blocked it entirely.
+        std::size_t firedTotal = 0;
+        Cycles front = 0;
+        for (int i = 0; i < n; ++i)
+            front = std::max(front, lane(i).now());
+        for (int i = 0; i < n; ++i) {
+            const auto ii = static_cast<std::size_t>(i);
+            LaneStats &ls = st.lanes[ii];
+            firedTotal += roundFired[ii];
+            if (roundFired[ii] > 0) {
+                ls.events += roundFired[ii];
+                ++ls.advances;
+                ls.maxHorizonLag = std::max(
+                    ls.maxHorizonLag, front - lane(i).now());
+            } else if (nextEv[ii] != noPendingEvent &&
+                       (!bounded || nextEv[ii] <= limit)) {
+                ++ls.stalls;
+                ls.maxHorizonLag = std::max(
+                    ls.maxHorizonLag, front - lane(i).now());
+            }
+        }
+        // Positive cross-lane lookaheads guarantee the earliest lane
+        // always clears its horizon; a zero-progress round means a
+        // modelling bug (e.g. an undeclared channel).
+        VIRTSIM_ASSERT(firedTotal > 0,
+                       "sharded kernel made no progress in a round ",
+                       "(undeclared cross-lane edge?)");
+    }
+
+    if (bounded) {
+        for (int i = 0; i < n; ++i)
+            lane(i).advanceClockTo(limit);
+        return limit;
+    }
+    return now();
+}
+
+void
+ShardedEventKernel::executePhase(bool parallel)
+{
+    const int n = laneCount();
+    if (!parallel) {
+        for (int i = 0; i < n; ++i) {
+            LaneScope scope(i);
+            roundFired[static_cast<std::size_t>(i)] =
+                lane(i).runBefore(
+                    roundTarget[static_cast<std::size_t>(i)]);
+        }
+        return;
+    }
+
+    startCrew();
+    {
+        std::lock_guard<std::mutex> lock(crewMutex);
+        crewRunning = n - 1;
+        ++crewGen;
+    }
+    crewStart.notify_all();
+    {
+        // Lane 0 runs on the calling thread while the crew covers
+        // lanes 1..n-1.
+        LaneScope scope(0);
+        roundFired[0] = lane(0).runBefore(roundTarget[0]);
+    }
+    std::unique_lock<std::mutex> lock(crewMutex);
+    crewDone.wait(lock, [this] { return crewRunning == 0; });
+}
+
+void
+ShardedEventKernel::startCrew()
+{
+    if (!crew.empty())
+        return;
+    const int n = laneCount();
+    crew.reserve(static_cast<std::size_t>(n - 1));
+    for (int i = 1; i < n; ++i)
+        crew.emplace_back([this, i] { workerLoop(i); });
+}
+
+void
+ShardedEventKernel::stopCrew()
+{
+    if (crew.empty())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(crewMutex);
+        crewQuit = true;
+        ++crewGen;
+    }
+    crewStart.notify_all();
+    for (std::thread &t : crew)
+        t.join();
+    crew.clear();
+    crewQuit = false;
+}
+
+void
+ShardedEventKernel::workerLoop(int laneIdx)
+{
+    std::uint64_t seenGen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(crewMutex);
+            crewStart.wait(lock, [this, seenGen] {
+                return crewQuit || crewGen != seenGen;
+            });
+            if (crewQuit)
+                return;
+            seenGen = crewGen;
+        }
+        {
+            LaneScope scope(laneIdx);
+            roundFired[static_cast<std::size_t>(laneIdx)] =
+                lane(laneIdx).runBefore(
+                    roundTarget[static_cast<std::size_t>(laneIdx)]);
+        }
+        bool last = false;
+        {
+            std::lock_guard<std::mutex> lock(crewMutex);
+            last = --crewRunning == 0;
+        }
+        if (last)
+            crewDone.notify_one();
+    }
+}
+
+void
+ShardedEventKernel::clear()
+{
+    for (auto &q : lanes_)
+        q->clear();
+    for (Mailbox &mb : mail)
+        mb.msgs.clear();
+}
+
+void
+ShardedEventKernel::reset()
+{
+    clear();
+    for (auto &q : lanes_)
+        q->reset();
+    st.rounds = 0;
+    st.parallelRounds = 0;
+    st.crossMsgs = 0;
+    for (LaneStats &ls : st.lanes)
+        ls = LaneStats{};
+}
+
+Cycles
+ShardedEventKernel::now() const
+{
+    Cycles t = 0;
+    for (const auto &q : lanes_)
+        t = std::max(t, q->now());
+    return t;
+}
+
+void
+ShardedEventKernel::publishStats(MetricsRegistry &metrics) const
+{
+    MetricsDomain &mach = metrics.machine();
+    const auto set = [&mach](const std::string &name,
+                             std::uint64_t v) {
+        Counter &c = mach.counter(internTap(name));
+        c.reset();
+        c.inc(v);
+    };
+    set("shard.lanes", static_cast<std::uint64_t>(laneCount()));
+    set("shard.rounds", st.rounds);
+    set("shard.parallel_rounds", st.parallelRounds);
+    set("shard.cross_msgs", st.crossMsgs);
+    for (std::size_t i = 0; i < st.lanes.size(); ++i) {
+        const LaneStats &ls = st.lanes[i];
+        const std::string p = "shard.lane" + std::to_string(i);
+        set(p + ".events", ls.events);
+        set(p + ".advances", ls.advances);
+        set(p + ".stalls", ls.stalls);
+        set(p + ".msgs_in", ls.msgsIn);
+        set(p + ".horizon_lag_max", ls.maxHorizonLag);
+        // Events per advancing round, scaled by 100 to survive the
+        // integer counter (ISSUE satellite: events/advance).
+        set(p + ".events_per_advance_x100",
+            ls.advances == 0 ? 0 : ls.events * 100 / ls.advances);
+    }
+}
+
+void
+ShardedEventKernel::registerGauges(TimelineSampler &tl)
+{
+    for (int i = 0; i < laneCount(); ++i) {
+        const std::string p = "shard.lane" + std::to_string(i);
+        EventQueue *q = lanes_[static_cast<std::size_t>(i)].get();
+        tl.addGauge(p + ".depth", [q] {
+            return static_cast<std::int64_t>(q->pending());
+        });
+        tl.addGauge(p + ".lag", [this, q] {
+            return static_cast<std::int64_t>(now() - q->now());
+        });
+        LaneStats *ls = &st.lanes[static_cast<std::size_t>(i)];
+        tl.addGauge(p + ".stalls", [ls] {
+            return static_cast<std::int64_t>(ls->stalls);
+        });
+    }
+}
+
+} // namespace virtsim

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Sharded event kernel: conservative-lookahead parallel DES.
+ *
+ * A ShardedEventKernel owns N EventQueue lanes and advances them in
+ * synchronization rounds. Each round:
+ *
+ *  1. Cross-lane messages buffered since the last round are merged
+ *     into their destination lanes in a fixed (source lane,
+ *     destination lane, send order) sequence, so (time, seq) tie
+ *     breaks are independent of thread timing.
+ *  2. Every lane's next event time is read, and each lane's safe
+ *     horizon is computed from the declared channel lookaheads:
+ *       target[i] = min over lanes j with an edge j->i of
+ *                   (nextEvent[j] + minLookahead[j][i])
+ *     A lane with no in-edges carrying events is unbounded this
+ *     round. Because any message lane j emits while executing an
+ *     event at time t arrives no earlier than t + lookahead >=
+ *     nextEvent[j] + lookahead >= target[i], no lane can ever
+ *     receive a message in its own past — the classic conservative
+ *     (Chandy-Misra-Bryant) safety argument, with the barrier round
+ *     standing in for null messages.
+ *  3. Lanes execute their events strictly below their horizons, in
+ *     parallel on a persistent worker crew when more than one lane
+ *     has work (and parallelism is permitted), serially on the
+ *     calling thread otherwise. Progress is guaranteed: the lane
+ *     holding the globally earliest event always has
+ *     target > nextEvent because every cross-lane lookahead is
+ *     positive.
+ *
+ * Determinism is absolute, not statistical: mailboxes are drained in
+ * declaration order before any lane runs, each lane is itself a
+ * deterministic (time, seq) total order, and horizon computation
+ * depends only on lane states — so the simulated behavior is
+ * byte-identical whether lanes run on one thread or eight, and
+ * whether the kernel has 1 lane or N. Observability output (traces,
+ * timelines) additionally depends on global stamping order, so
+ * harnesses force the serial path while a sink is enabled
+ * (setSerialFallback), the same rule the testbed cache applies.
+ *
+ * VIRTSIM_SHARDS=1 (the default) constructs a single lane and run()
+ * is a literal passthrough to EventQueue::run().
+ */
+
+#ifndef VIRTSIM_SIM_SHARD_HH
+#define VIRTSIM_SIM_SHARD_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/channel.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace virtsim {
+
+class MetricsRegistry;
+class TimelineSampler;
+
+/** Lane count a kernel built from the environment will use:
+ *  VIRTSIM_SHARDS if set (validated positive integer), else 1. */
+int shardLanes();
+
+/**
+ * N event lanes plus the conservative coordinator. See file comment.
+ */
+class ShardedEventKernel
+{
+  public:
+    explicit ShardedEventKernel(int laneCount = 1);
+    ~ShardedEventKernel();
+
+    ShardedEventKernel(const ShardedEventKernel &) = delete;
+    ShardedEventKernel &operator=(const ShardedEventKernel &) = delete;
+
+    int laneCount() const { return static_cast<int>(lanes_.size()); }
+
+    /** Lane i's event queue. References stay valid for the kernel's
+     *  lifetime. Lane 0 is the serial kernel when laneCount() == 1. */
+    EventQueue &
+    lane(int i)
+    {
+        return *lanes_[static_cast<std::size_t>(i)];
+    }
+
+    /** @name Shard-to-lane assignment */
+    ///@{
+    /** Map a shard onto a lane (default: shard % laneCount, with
+     *  every shard on lane 0 when laneCount == 1). Components coupled
+     *  through zero-latency shared state must share a lane. */
+    void assignShard(ShardId shard, int lane);
+
+    int laneOf(ShardId shard) const;
+    ///@}
+
+    /**
+     * Declare a channel from shard src to shard dst with the given
+     * minimum latency. src may be anyShard (every lane can send; used
+     * for IPIs, where the sender is whichever CPU executes the send).
+     * @pre lookahead > 0 when the endpoints resolve to different
+     *      lanes — a zero-latency cross-lane edge would deadlock the
+     *      conservative horizon. Zero is fine same-lane.
+     * @return a stable reference, valid for the kernel's lifetime.
+     */
+    ShardChannel &channel(std::string name, ShardId src, ShardId dst,
+                          Cycles lookahead);
+
+    /** @name Execution */
+    ///@{
+    /** Run until every lane drains. @return final time (max lane). */
+    Cycles run();
+
+    /** Run events with timestamps <= limit on every lane; lanes are
+     *  then advanced to limit. @return the final time. */
+    Cycles runUntil(Cycles limit);
+
+    /** Fire exactly one event on the single lane. Only meaningful —
+     *  and only allowed — for single-lane kernels (unit-test
+     *  stepping); multi-lane execution is round-based. */
+    bool step();
+
+    /** Drop all pending events and buffered cross-lane messages. */
+    void clear();
+
+    /** clear() plus rewind every lane's clock and sequence counter
+     *  and zero the round statistics (testbed reuse). */
+    void reset();
+
+    /** Latest lane clock (the simulation's notion of "now" between
+     *  runs; lanes may transiently differ during a run). */
+    Cycles now() const;
+    ///@}
+
+    /**
+     * Force the serial (single-threaded, round-based) path even for
+     * multi-lane kernels. Execution and results are byte-identical
+     * either way; harnesses set this while a trace sink, timeline, or
+     * kernel profiler is active, because *stamping order* into those
+     * sinks is a global side channel the parallel path does not
+     * reproduce.
+     */
+    void setSerialFallback(bool on) { serialFallback = on; }
+    bool serialFallbackActive() const { return serialFallback; }
+
+    /** @name Shard health telemetry */
+    ///@{
+    struct LaneStats
+    {
+        std::uint64_t events = 0;   ///< events fired via rounds
+        std::uint64_t advances = 0; ///< rounds that fired >= 1 event
+        std::uint64_t stalls = 0;   ///< rounds blocked by the horizon
+        std::uint64_t msgsIn = 0;   ///< cross-lane messages received
+        Cycles maxHorizonLag = 0;   ///< max clock deficit vs front
+    };
+
+    struct Stats
+    {
+        std::uint64_t rounds = 0;         ///< synchronization rounds
+        std::uint64_t parallelRounds = 0; ///< rounds using the crew
+        std::uint64_t crossMsgs = 0;      ///< total cross-lane sends
+        std::vector<LaneStats> lanes;
+    };
+
+    const Stats &stats() const { return st; }
+
+    /**
+     * Publish the round statistics as machine-domain "shard.*"
+     * counters. Explicit opt-in, like publishSweepPoolStats(): lane
+     * counts are a host-side execution detail, so they are never
+     * mixed into per-testbed snapshots (which must stay byte-identical
+     * across VIRTSIM_SHARDS).
+     */
+    void publishStats(MetricsRegistry &metrics) const;
+
+    /**
+     * Register per-lane gauges (queue depth, clock lag behind the
+     * front lane) with a timeline sampler. Opt-in for the same reason
+     * as publishStats — and timelines force the serial path anyway.
+     */
+    void registerGauges(TimelineSampler &tl);
+    ///@}
+
+    /** Lane the calling thread is currently executing events for, or
+     *  -1 outside lane execution (setup, coordinator). */
+    static int currentLane();
+
+  private:
+    friend class ShardChannel;
+
+    /** A buffered cross-lane message. */
+    struct Pending
+    {
+        Cycles when;
+        TapId label;
+        EventFn fn;
+    };
+
+    /** Mailbox for one (source lane, destination lane) pair. Written
+     *  only by the source lane's thread during a round, drained only
+     *  by the coordinator between rounds — no locking needed; the
+     *  round barrier provides the happens-before edges. */
+    struct Mailbox
+    {
+        std::vector<Pending> msgs;
+    };
+
+    /** Implementation of ShardChannel::send. */
+    EventId channelSend(ShardChannel &ch, Cycles when, TapId label,
+                        EventFn fn);
+
+    Mailbox &
+    mailbox(int srcLane, int dstLane)
+    {
+        return mail[static_cast<std::size_t>(srcLane) *
+                        lanes_.size() +
+                    static_cast<std::size_t>(dstLane)];
+    }
+
+    /** Record (or tighten) the lookahead edge srcLane -> dstLane. */
+    void addLookahead(int srcLane, int dstLane, Cycles look);
+
+    /** The round loop shared by run() and runUntil(). */
+    Cycles runRounds(bool bounded, Cycles limit);
+
+    /** Execute one round's lane phase (parallel or serial),
+     *  filling roundFired. */
+    void executePhase(bool parallel);
+
+    /** @name Worker crew (lanes 1..N-1; lane 0 runs on the caller) */
+    ///@{
+    void startCrew();
+    void stopCrew();
+    void workerLoop(int laneIdx);
+    ///@}
+
+    std::vector<std::unique_ptr<EventQueue>> lanes_;
+    std::vector<std::unique_ptr<ShardChannel>> channels_;
+    std::vector<int> shardLane;  ///< shard -> lane, assignShard()
+    std::vector<Cycles> minLook; ///< lane x lane lookahead matrix
+    std::vector<Mailbox> mail;   ///< lane x lane mailboxes
+
+    /** Per-round scratch, owned by the coordinator; workers read
+     *  their own targets slot and write their own fired slot. */
+    std::vector<Cycles> roundTarget;
+    std::vector<std::size_t> roundFired;
+
+    Stats st;
+    bool serialFallback = false;
+
+    /** Crew synchronization: generation-counted round barrier. */
+    std::mutex crewMutex;
+    std::condition_variable crewStart;
+    std::condition_variable crewDone;
+    std::vector<std::thread> crew;
+    std::uint64_t crewGen = 0;
+    int crewRunning = 0;
+    bool crewQuit = false;
+};
+
+} // namespace virtsim
+
+#endif // VIRTSIM_SIM_SHARD_HH

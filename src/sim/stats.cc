@@ -110,6 +110,7 @@ HistogramStat::render() const
 std::uint64_t
 StatRegistry::counterValue(const std::string &name) const
 {
+    std::shared_lock lock(mtx);
     auto it = counters.find(name);
     return it == counters.end() ? 0 : it->second.value();
 }
@@ -117,6 +118,7 @@ StatRegistry::counterValue(const std::string &name) const
 void
 StatRegistry::reset()
 {
+    std::unique_lock lock(mtx);
     for (auto &kv : counters)
         kv.second.reset();
     for (auto &kv : stats)
@@ -126,6 +128,7 @@ StatRegistry::reset()
 void
 StatRegistry::clear()
 {
+    std::unique_lock lock(mtx);
     counters.clear();
     stats.clear();
 }

@@ -15,24 +15,56 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <map>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 namespace virtsim {
 
-/** A monotonically increasing event counter. */
+/**
+ * A monotonically increasing event counter.
+ *
+ * Increments are relaxed atomics so counters shared across sharded
+ * kernel lanes (e.g. a Machine's StatRegistry fed from several CPU
+ * shards) stay exact without locking; addition commutes, so the final
+ * value is independent of thread interleaving and runs remain
+ * byte-identical at every VIRTSIM_SHARDS setting. Copy semantics are
+ * value snapshots (needed by the std::map registry nodes).
+ */
 class Counter
 {
   public:
-    void inc(std::uint64_t by = 1) { _value += by; }
-    std::uint64_t value() const { return _value; }
-    void reset() { _value = 0; }
+    Counter() = default;
+    Counter(const Counter &o)
+        : _value(o._value.load(std::memory_order_relaxed))
+    {}
+    Counter &
+    operator=(const Counter &o)
+    {
+        _value.store(o._value.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+        return *this;
+    }
+
+    void
+    inc(std::uint64_t by = 1)
+    {
+        _value.fetch_add(by, std::memory_order_relaxed);
+    }
+    std::uint64_t
+    value() const
+    {
+        return _value.load(std::memory_order_relaxed);
+    }
+    void reset() { _value.store(0, std::memory_order_relaxed); }
 
   private:
-    std::uint64_t _value = 0;
+    std::atomic<std::uint64_t> _value{0};
 };
 
 /** Accumulates a set of samples and answers summary queries. */
@@ -158,7 +190,28 @@ class HistogramStat
 class StatRegistry
 {
   public:
-    Counter &counter(const std::string &name) { return counters[name]; }
+    /**
+     * Counter by name, created on first use. Safe to call from
+     * concurrent shard lanes: lookup takes a shared lock, first-use
+     * insertion upgrades to exclusive. std::map nodes never move, so
+     * returned references stay valid across later insertions.
+     */
+    Counter &
+    counter(const std::string &name)
+    {
+        {
+            std::shared_lock lock(mtx);
+            auto it = counters.find(name);
+            if (it != counters.end())
+                return it->second;
+        }
+        std::unique_lock lock(mtx);
+        return counters[name];
+    }
+
+    /** SampleStat by name. NOT lane-safe: sample accumulators must
+     *  stay confined to a single shard lane (they are in practice:
+     *  each is fed from one component's lane). */
     SampleStat &stat(const std::string &name) { return stats[name]; }
 
     const std::map<std::string, Counter> &allCounters() const
@@ -188,6 +241,9 @@ class StatRegistry
     std::string render() const;
 
   private:
+    /** Guards the counters map structure (not the Counter values,
+     *  which are internally atomic). */
+    mutable std::shared_mutex mtx;
     std::map<std::string, Counter> counters;
     std::map<std::string, SampleStat> stats;
 };

@@ -289,3 +289,77 @@ TEST_P(EventQueueOrderTest, PermutedInsertionFiresSorted)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueOrderTest,
                          ::testing::Range(0, 10));
+
+TEST(EventQueueCompaction, CancelChurnReclaimsDeadEntries)
+{
+    EventQueue eq;
+    std::vector<EventId> ids;
+    int fired = 0;
+    // 200 events, then cancel 150: dead entries outnumber live ones,
+    // so cancel() must compact in place instead of letting the heap
+    // carry the cancel history to the end of the run.
+    for (int i = 0; i < 200; ++i) {
+        ids.push_back(eq.scheduleAt(
+            static_cast<Cycles>(10 + i), [&fired] { ++fired; }));
+    }
+    for (int i = 0; i < 150; ++i)
+        EXPECT_TRUE(eq.cancel(ids[static_cast<std::size_t>(i)]));
+    EXPECT_GE(eq.compactions(), 1u);
+    // The invariant compaction maintains: dead entries never
+    // outnumber live ones, so sift depth tracks the live population
+    // (without compaction this heap would be 150 dead / 50 live).
+    EXPECT_LE(eq.deadEntries() * 2, eq.heapSize());
+    EXPECT_EQ(eq.heapSize(), eq.pending() + eq.deadEntries());
+    EXPECT_EQ(eq.pending(), 50u);
+    eq.run();
+    EXPECT_EQ(fired, 50);
+}
+
+TEST(EventQueueCompaction, FiringOrderSurvivesCompaction)
+{
+    EventQueue eq;
+    // Interleave schedule/cancel churn (timer-retarget pattern), then
+    // verify the survivors still fire in (time, insertion) order.
+    unsigned state = 12345u;
+    std::vector<EventId> pending;
+    std::vector<Cycles> fired;
+    for (int round = 0; round < 50; ++round) {
+        for (int i = 0; i < 20; ++i) {
+            state = state * 1664525u + 1013904223u;
+            pending.push_back(eq.scheduleAt(
+                state % 5000,
+                [&fired, &eq] { fired.push_back(eq.now()); }));
+        }
+        // Cancel three quarters of what this round scheduled.
+        for (int i = 0; i < 15; ++i) {
+            state = state * 1664525u + 1013904223u;
+            eq.cancel(pending[pending.size() - 1 -
+                              state % pending.size() % 20]);
+        }
+    }
+    const std::size_t live = eq.pending();
+    EXPECT_GE(eq.compactions(), 1u);
+    eq.run();
+    EXPECT_EQ(fired.size(), live);
+    for (std::size_t i = 1; i < fired.size(); ++i)
+        EXPECT_LE(fired[i - 1], fired[i]);
+    EXPECT_EQ(eq.deadEntries(), 0u);
+}
+
+TEST(EventQueueCompaction, SmallHeapsSkipCompaction)
+{
+    EventQueue eq;
+    // Below the compaction floor the dead entries just ride along
+    // (compacting a tiny heap costs more than it saves) and are
+    // reclaimed as they surface during the run.
+    std::vector<EventId> ids;
+    for (int i = 0; i < 20; ++i)
+        ids.push_back(eq.scheduleAt(static_cast<Cycles>(i + 1), [] {}));
+    for (int i = 0; i < 15; ++i)
+        eq.cancel(ids[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(eq.compactions(), 0u);
+    EXPECT_EQ(eq.deadEntries(), 15u);
+    eq.run();
+    EXPECT_EQ(eq.deadEntries(), 0u);
+    EXPECT_EQ(eq.pending(), 0u);
+}

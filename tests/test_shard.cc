@@ -1,0 +1,369 @@
+/**
+ * @file
+ * Tests for the sharded event kernel: conservative-lookahead rounds
+ * must produce byte-identical modelled results at every lane count,
+ * channels must enforce their declared latencies, the VIRTSIM_SHARDS
+ * knob must validate, sharded runs inside sweep workers must
+ * serialize, and the shard health telemetry must publish.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/appbench.hh"
+#include "core/fleet.hh"
+#include "core/netperf.hh"
+#include "core/testbed.hh"
+#include "sim/channel.hh"
+#include "sim/probe.hh"
+#include "sim/shard.hh"
+#include "sim/sweep.hh"
+#include "sim/timeline.hh"
+
+using namespace virtsim;
+
+namespace {
+
+/** Scoped environment override; restores the prior value on exit. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name(name)
+    {
+        const char *prev = std::getenv(name);
+        if (prev)
+            saved = prev;
+        had = prev != nullptr;
+        if (value)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+
+    ~ScopedEnv()
+    {
+        if (had)
+            ::setenv(name, saved.c_str(), 1);
+        else
+            ::unsetenv(name);
+    }
+
+  private:
+    const char *name;
+    std::string saved;
+    bool had = false;
+};
+
+FleetConfig
+smallFleet()
+{
+    FleetConfig cfg;
+    cfg.nCpus = 4;
+    cfg.connsPerCpu = 8;
+    cfg.transactionsPerConn = 40;
+    return cfg;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream is(path);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+} // namespace
+
+TEST(FleetDeterminism, ByteIdenticalAcrossLaneCounts)
+{
+    const FleetConfig cfg = smallFleet();
+    const FleetResult serial = runNetperfRrFleet(cfg, 1);
+    EXPECT_EQ(serial.transactions,
+              static_cast<std::uint64_t>(cfg.nCpus) *
+                  cfg.connsPerCpu * cfg.transactionsPerConn);
+    EXPECT_GT(serial.finalTime, 0u);
+    EXPECT_GT(serial.totalRttCycles, 0u);
+    for (int lanes : {2, 3, 4, 8}) {
+        const FleetResult r = runNetperfRrFleet(cfg, lanes);
+        EXPECT_TRUE(serial.sameModelledResult(r))
+            << "lanes=" << lanes << " final=" << r.finalTime
+            << " tx=" << r.transactions
+            << " checksum=" << r.checksum;
+    }
+}
+
+TEST(FleetDeterminism, ParallelRoundsActuallyHappen)
+{
+    const FleetConfig cfg = smallFleet();
+    EXPECT_EQ(runNetperfRrFleet(cfg, 1).parallelRounds, 0u);
+    // Per-CPU lanes are genuinely decoupled by the wire lookahead, so
+    // a multi-lane run must actually use the parallel crew path (the
+    // determinism test above is meaningless if it silently ran
+    // serial rounds).
+    EXPECT_GT(runNetperfRrFleet(cfg, 4).parallelRounds, 0u);
+}
+
+TEST(ShardChannelDeath, SendViolatingLookaheadDies)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    EXPECT_DEATH(
+        {
+            ShardedEventKernel kern(2);
+            kern.assignShard(deviceShard, 0);
+            kern.assignShard(cpuShard(0), 1);
+            ShardChannel &ch = kern.channel("t.req", deviceShard,
+                                            cpuShard(0), 100);
+            // Only lane 0 is active, so the round executes on this
+            // thread; the send promises an arrival earlier than the
+            // declared lookahead permits.
+            kern.lane(0).scheduleAt(
+                50, [&ch] { ch.send(149, [] {}); });
+            kern.run();
+        },
+        "violates declared lookahead");
+}
+
+TEST(ShardChannelDeath, CrossLaneZeroLookaheadDies)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    EXPECT_DEATH(
+        {
+            ShardedEventKernel kern(2);
+            kern.assignShard(deviceShard, 0);
+            kern.assignShard(cpuShard(0), 1);
+            kern.channel("t.zero", deviceShard, cpuShard(0), 0);
+        },
+        "needs latency");
+}
+
+TEST(ShardChannel, RedeclarationReusesAndTightens)
+{
+    ShardedEventKernel kern(2);
+    kern.assignShard(deviceShard, 0);
+    kern.assignShard(cpuShard(0), 1);
+    ShardChannel &a = kern.channel("t.req", deviceShard,
+                                   cpuShard(0), 100);
+    EXPECT_EQ(a.lookahead(), 100u);
+    // A testbed reset rebuilds its world on the same kernel; the
+    // redeclaration must reuse the channel (not grow the table) and
+    // keep the tighter latency.
+    ShardChannel &b = kern.channel("t.req", deviceShard,
+                                   cpuShard(0), 80);
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(a.lookahead(), 80u);
+    ShardChannel &c = kern.channel("t.req", deviceShard,
+                                   cpuShard(0), 200);
+    EXPECT_EQ(&a, &c);
+    EXPECT_EQ(a.lookahead(), 80u);
+}
+
+TEST(ShardChannelDeath, RedeclarationWithNewEndpointsDies)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    EXPECT_DEATH(
+        {
+            ShardedEventKernel kern(2);
+            kern.assignShard(deviceShard, 0);
+            kern.assignShard(cpuShard(0), 1);
+            kern.channel("t.req", deviceShard, cpuShard(0), 100);
+            kern.channel("t.req", cpuShard(0), deviceShard, 100);
+        },
+        "redeclared with different endpoints");
+}
+
+TEST(ShardLanesEnv, DefaultsAndParses)
+{
+    {
+        ScopedEnv e("VIRTSIM_SHARDS", nullptr);
+        EXPECT_EQ(shardLanes(), 1);
+    }
+    {
+        ScopedEnv e("VIRTSIM_SHARDS", "4");
+        EXPECT_EQ(shardLanes(), 4);
+    }
+}
+
+TEST(ShardLanesEnvDeath, RejectsZeroAndGarbage)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    {
+        ScopedEnv e("VIRTSIM_SHARDS", "0");
+        EXPECT_DEATH((void)shardLanes(), "must be positive");
+    }
+    {
+        ScopedEnv e("VIRTSIM_SHARDS", "lots");
+        EXPECT_DEATH((void)shardLanes(), "positive integer");
+    }
+}
+
+TEST(ShardTelemetry, PublishesCountersAndGauges)
+{
+    ShardedEventKernel kern(2);
+    kern.assignShard(deviceShard, 0);
+    kern.assignShard(cpuShard(0), 1);
+    ShardChannel &req = kern.channel("t.req", deviceShard,
+                                     cpuShard(0), 100);
+    int fired = 0;
+    kern.lane(0).scheduleAt(10, [&] {
+        req.send(200, [&fired] { ++fired; });
+    });
+    // Give the destination lane pending work so the round loop runs
+    // a bounded multi-lane schedule rather than a single drain.
+    kern.lane(1).scheduleAt(5, [&fired] { ++fired; });
+    kern.run();
+    EXPECT_EQ(fired, 2);
+
+    MetricsRegistry reg;
+    kern.publishStats(reg);
+    const MetricsSnapshot snap = reg.snapshot();
+    std::uint64_t lanes = 0, rounds = 0, events = 0, msgs = 0;
+    for (const auto &row : snap.counters) {
+        if (row.name == "shard.lanes")
+            lanes = row.value;
+        else if (row.name == "shard.rounds")
+            rounds = row.value;
+        else if (row.name == "shard.lane1.events")
+            events = row.value;
+        else if (row.name == "shard.lane1.msgs_in")
+            msgs = row.value;
+    }
+    EXPECT_EQ(lanes, 2u);
+    EXPECT_GE(rounds, 1u);
+    EXPECT_EQ(events, 2u); // local event + channel message
+    EXPECT_EQ(msgs, 1u);
+
+    TimelineSampler tl;
+    const std::size_t before = tl.gaugeCount();
+    kern.registerGauges(tl);
+    EXPECT_EQ(tl.gaugeCount(), before + 2 * 3);
+    EXPECT_GE(tl.findGauge("shard.lane0.depth"), 0);
+    EXPECT_GE(tl.findGauge("shard.lane1.lag"), 0);
+    EXPECT_GE(tl.findGauge("shard.lane1.stalls"), 0);
+}
+
+TEST(ShardSweep, ShardedRunInsideSweepSerializes)
+{
+    const FleetConfig cfg = smallFleet();
+    const FleetResult direct = runNetperfRrFleet(cfg, 4);
+
+    ScopedEnv jobs("VIRTSIM_JOBS", "2");
+    const std::vector<int> items = {0, 1};
+    const auto results =
+        parallelSweep(items, [&cfg](int) {
+            return runNetperfRrFleet(cfg, 4);
+        });
+    ASSERT_EQ(results.size(), 2u);
+    for (const FleetResult &r : results) {
+        EXPECT_TRUE(direct.sameModelledResult(r));
+        // Inside a sweep worker the kernel must not spin up its own
+        // crew on top of the sweep pool: rounds serialize.
+        EXPECT_EQ(r.parallelRounds, 0u);
+    }
+}
+
+TEST(ShardsEnv, ClassicTestbedResultsIdenticalAcrossShards)
+{
+    // The single-flow testbed worlds are zero-latency coupled, so
+    // every shard lands on lane 0 regardless of VIRTSIM_SHARDS; the
+    // modelled output must not depend on the knob.
+    double mean[3] = {0, 0, 0};
+    const char *settings[3] = {"1", "2", "8"};
+    for (int i = 0; i < 3; ++i) {
+        ScopedEnv e("VIRTSIM_SHARDS", settings[i]);
+        Testbed tb(TestbedConfig{.kind = SutKind::KvmArm,
+                                 .seed = 911});
+        NetperfRrConfig nc;
+        nc.transactions = 40;
+        mean[i] = runNetperfRr(tb, nc).timePerTransUs;
+    }
+    EXPECT_EQ(mean[0], mean[1]);
+    EXPECT_EQ(mean[0], mean[2]);
+}
+
+TEST(ShardsEnv, Table5ExportsByteIdenticalAcrossShards)
+{
+    // Satellite of the determinism bar: metrics and timeline exports
+    // from the Table V netperf path must be byte-identical at every
+    // VIRTSIM_SHARDS value (observability forces the serial path;
+    // classic worlds are single-lane anyway).
+    auto runOnce = [](const char *shards) {
+        ScopedEnv s("VIRTSIM_SHARDS", shards);
+        ScopedEnv m("VIRTSIM_METRICS", "/tmp/shard_t5_m.json");
+        ScopedEnv t("VIRTSIM_TIMELINE", "/tmp/shard_t5_tl.json");
+        {
+            Testbed tb(TestbedConfig{.kind = SutKind::KvmArm,
+                                     .seed = 912});
+            NetperfRrConfig nc;
+            nc.transactions = 25;
+            (void)runNetperfRr(tb, nc);
+        }
+        return std::pair<std::string, std::string>(
+            slurp("/tmp/shard_t5_m.kvm_arm.json"),
+            slurp("/tmp/shard_t5_tl.kvm_arm.json"));
+    };
+    const auto base = runOnce("1");
+    ASSERT_FALSE(base.first.empty());
+    ASSERT_FALSE(base.second.empty());
+    EXPECT_EQ(base, runOnce("2"));
+    EXPECT_EQ(base, runOnce("8"));
+}
+
+TEST(ShardsEnv, Figure4RowsIdenticalAcrossShards)
+{
+    AppBenchOptions opt;
+    opt.kinds = {SutKind::KvmArm, SutKind::XenArm};
+    std::vector<std::vector<double>> scores;
+    for (const char *shards : {"1", "2", "8"}) {
+        ScopedEnv e("VIRTSIM_SHARDS", shards);
+        const auto rows = runFigure4(opt);
+        std::vector<double> flat;
+        for (const AppBenchRow &row : rows) {
+            flat.push_back(row.nativeScoreArm);
+            flat.push_back(row.nativeScoreX86);
+            for (const auto &cell : row.cells) {
+                flat.push_back(cell.score);
+                flat.push_back(
+                    cell.normalizedOverhead.value_or(-1.0));
+            }
+        }
+        scores.push_back(std::move(flat));
+    }
+    ASSERT_FALSE(scores[0].empty());
+    EXPECT_EQ(scores[0], scores[1]);
+    EXPECT_EQ(scores[0], scores[2]);
+}
+
+TEST(ShardSpeedup, FourLanesBeatSerialOnMulticoreHost)
+{
+    // The acceptance bar for the sharded kernel: >= 1.5x wall-clock
+    // on the 4-CPU fleet at four lanes. Real parallelism needs real
+    // CPUs; on smaller hosts (CI shells, containers pinned to one
+    // core) the crew cannot beat serial, so the assertion is gated.
+    if (std::thread::hardware_concurrency() < 4)
+        GTEST_SKIP() << "host has < 4 CPUs; no parallel win possible";
+
+    FleetConfig cfg; // the bench-sized world (4 x 32 x 250)
+    const auto wall = [&cfg](int lanes) {
+        double best = 1e300;
+        for (int rep = 0; rep < 3; ++rep) {
+            const auto t0 = std::chrono::steady_clock::now();
+            const FleetResult r = runNetperfRrFleet(cfg, lanes);
+            const std::chrono::duration<double> dt =
+                std::chrono::steady_clock::now() - t0;
+            EXPECT_GT(r.transactions, 0u);
+            best = std::min(best, dt.count());
+        }
+        return best;
+    };
+    const double serial = wall(1);
+    const double sharded = wall(4);
+    EXPECT_GE(serial / sharded, 1.5)
+        << "serial " << serial << "s vs 4-lane " << sharded << "s";
+}
