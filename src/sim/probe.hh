@@ -37,6 +37,7 @@
 #include <string_view>
 #include <vector>
 
+#include "sim/log.hh"
 #include "sim/stats.hh"
 #include "sim/timeline.hh"
 #include "sim/types.hh"
@@ -474,6 +475,14 @@ class MetricsDomain
     {
         const std::size_t i = tap.raw();
         if (i >= counters.size()) {
+            // Growing under a concurrent reader is UB; once the
+            // domain is prepared for parallel lanes a late-interned
+            // tap is a deterministic failure, not a latent race.
+            VIRTSIM_ASSERT(!parallelPrepared,
+                           "tap ", i, " in domain '", _name,
+                           "' first touched after ",
+                           "prepareForParallel(); intern and warm ",
+                           "taps before the parallel phase");
             counters.resize(i + 1);
             used.resize(counters.size());
         }
@@ -498,6 +507,7 @@ class MetricsDomain
             hists.resize(tapCount + 1);
             histUsed.resize(hists.size());
         }
+        parallelPrepared = true;
     }
 
     HistogramStat &
@@ -505,6 +515,11 @@ class MetricsDomain
     {
         const std::size_t i = tap.raw();
         if (i >= hists.size()) {
+            VIRTSIM_ASSERT(!parallelPrepared,
+                           "tap ", i, " in domain '", _name,
+                           "' first touched after ",
+                           "prepareForParallel(); intern and warm ",
+                           "taps before the parallel phase");
             hists.resize(i + 1);
             histUsed.resize(hists.size());
         }
@@ -564,6 +579,9 @@ class MetricsDomain
     std::vector<RelaxedFlag> used;
     std::vector<HistogramStat> hists;
     std::vector<RelaxedFlag> histUsed;
+    /** Once set, the tap-indexed arrays are frozen: growth would
+     *  race with concurrent shard-lane readers. */
+    bool parallelPrepared = false;
 };
 
 /** Deterministic, name-sorted snapshot of a MetricsRegistry. */

@@ -30,6 +30,14 @@ struct LaneScope
 
 constexpr Cycles noBound = std::numeric_limits<Cycles>::max();
 
+/** Saturating add for horizon arithmetic: an unbounded time plus a
+ *  finite lookahead stays unbounded instead of wrapping. */
+constexpr Cycles
+satAdd(Cycles t, Cycles look)
+{
+    return t > noBound - look ? noBound : t + look;
+}
+
 } // namespace
 
 int
@@ -123,13 +131,20 @@ ShardedEventKernel::channel(std::string name, ShardId src, ShardId dst,
     // kernel (testbed reset), possibly with retuned latencies — reuses
     // the existing channel and keeps the tighter of the two
     // lookaheads; the matrix update above already took the min, which
-    // is always the safe direction.
+    // is always the safe direction (stale edges from an earlier shard
+    // plan can only tighten horizons, never unsafely widen them).
     for (auto &ch : channels_) {
         if (ch->_name == name) {
             VIRTSIM_ASSERT(ch->src == src && ch->dst == dst,
                            "channel '", name,
                            "' redeclared with different endpoints");
             ch->look = std::min(ch->look, lookahead);
+            // The shard-to-lane plan may have changed since the first
+            // declaration (assignShard before the rebuild): refresh
+            // the cached routing so sends follow the current plan
+            // instead of silently targeting a stale lane.
+            ch->_dstLane = dstLane;
+            ch->_crossLane = cross;
             return *ch;
         }
     }
@@ -154,7 +169,18 @@ ShardedEventKernel::channelSend(ShardChannel &ch, Cycles when,
     const int cur = tl_current_lane;
     if (cur < 0 || cur == dst) {
         // Setup/coordinator context (single-threaded) or a same-lane
-        // send: exactly the serial kernel's scheduleAt.
+        // send: exactly the serial kernel's scheduleAt. The declared
+        // latency is still a contract: checked here too (same-lane,
+        // the destination clock IS the sender's clock), so a world
+        // that undershoots a channel's latency fails in the default
+        // serial configuration instead of only once the endpoints
+        // land on different lanes. Setup-context sends (cur < 0)
+        // have no sender clock to check against.
+        VIRTSIM_ASSERT(cur < 0 ||
+                           when >= lane(dst).now() + ch.lookahead(),
+                       "channel '", ch.name(), "' send at ", when,
+                       " violates declared lookahead ", ch.lookahead(),
+                       " from lane time ", lane(dst).now());
         return lane(dst).scheduleAt(when, label, std::move(fn));
     }
     EventQueue &src = lane(cur);
@@ -170,16 +196,23 @@ ShardedEventKernel::channelSend(ShardChannel &ch, Cycles when,
 Cycles
 ShardedEventKernel::run()
 {
-    if (laneCount() == 1)
+    if (laneCount() == 1) {
+        // Mark the lane even on the passthrough path so channel sends
+        // from inside events check their lookahead contract in the
+        // serial configuration too.
+        LaneScope scope(0);
         return lane(0).run();
+    }
     return runRounds(false, 0);
 }
 
 Cycles
 ShardedEventKernel::runUntil(Cycles limit)
 {
-    if (laneCount() == 1)
+    if (laneCount() == 1) {
+        LaneScope scope(0);
         return lane(0).runUntil(limit);
+    }
     return runRounds(true, limit);
 }
 
@@ -189,6 +222,7 @@ ShardedEventKernel::step()
     VIRTSIM_ASSERT(laneCount() == 1,
                    "step() is single-lane only; multi-lane execution ",
                    "is round-based");
+    LaneScope scope(0);
     return lane(0).step();
 }
 
@@ -198,6 +232,7 @@ ShardedEventKernel::runRounds(bool bounded, Cycles limit)
     const int n = laneCount();
     const bool parallelAllowed = !serialFallback && !inSweepTask();
     std::vector<Cycles> nextEv(static_cast<std::size_t>(n));
+    std::vector<Cycles> bound(static_cast<std::size_t>(n));
 
     for (;;) {
         ++st.rounds;
@@ -238,6 +273,45 @@ ShardedEventKernel::runRounds(bool bounded, Cycles limit)
         if (bounded && minNext > limit)
             break;
 
+        // The LBTS fixed point:
+        //   N[i] = min(nextEv[i], min_j (N[j] + look[j][i]))
+        // iterated to convergence. N[i] lower-bounds the time of
+        // anything lane i could still execute or emit — its own
+        // earliest event or a message arriving over an in-edge. An
+        // empty lane is NOT unconstraining: a message can wake it
+        // and make it send, so its earliest possible receive time
+        // still bounds every lane downstream of it, covering
+        // transitive chains and cycles through idle lanes.
+        // Relaxation converges in <= n passes (edge weights are
+        // positive) over an n*n matrix of lanes, all tiny.
+        for (int i = 0; i < n; ++i)
+            bound[static_cast<std::size_t>(i)] =
+                nextEv[static_cast<std::size_t>(i)];
+        for (bool changed = true; changed;) {
+            changed = false;
+            for (int i = 0; i < n; ++i) {
+                Cycles b = bound[static_cast<std::size_t>(i)];
+                for (int j = 0; j < n; ++j) {
+                    if (j == i)
+                        continue;
+                    const Cycles look =
+                        minLook[static_cast<std::size_t>(j) *
+                                    lanes_.size() +
+                                static_cast<std::size_t>(i)];
+                    if (look == noBound)
+                        continue;
+                    b = std::min(
+                        b, satAdd(bound[static_cast<std::size_t>(j)],
+                                  look));
+                }
+                if (b < bound[static_cast<std::size_t>(i)]) {
+                    bound[static_cast<std::size_t>(i)] = b;
+                    changed = true;
+                }
+            }
+        }
+        // Lane i may execute strictly below the earliest time any
+        // other lane could still send to it.
         for (int i = 0; i < n; ++i) {
             Cycles target = noBound;
             for (int j = 0; j < n; ++j) {
@@ -247,10 +321,11 @@ ShardedEventKernel::runRounds(bool bounded, Cycles limit)
                     minLook[static_cast<std::size_t>(j) *
                                 lanes_.size() +
                             static_cast<std::size_t>(i)];
-                const Cycles tj = nextEv[static_cast<std::size_t>(j)];
-                if (look == noBound || tj == noPendingEvent)
+                if (look == noBound)
                     continue;
-                target = std::min(target, tj + look);
+                target = std::min(
+                    target,
+                    satAdd(bound[static_cast<std::size_t>(j)], look));
             }
             if (bounded && (target == noBound || target > limit))
                 target = limit + 1;

@@ -10,16 +10,25 @@
  *     destination lane, send order) sequence, so (time, seq) tie
  *     breaks are independent of thread timing.
  *  2. Every lane's next event time is read, and each lane's safe
- *     horizon is computed from the declared channel lookaheads:
- *       target[i] = min over lanes j with an edge j->i of
- *                   (nextEvent[j] + minLookahead[j][i])
- *     A lane with no in-edges carrying events is unbounded this
- *     round. Because any message lane j emits while executing an
- *     event at time t arrives no earlier than t + lookahead >=
- *     nextEvent[j] + lookahead >= target[i], no lane can ever
- *     receive a message in its own past — the classic conservative
- *     (Chandy-Misra-Bryant) safety argument, with the barrier round
- *     standing in for null messages.
+ *     horizon is computed from the declared channel lookaheads as
+ *     the LBTS (lower bound on time stamp) fixed point
+ *       N[i] = min(nextEvent[i],
+ *                  min over edges j->i of (N[j] + minLookahead[j][i]))
+ *     iterated to convergence, then
+ *       target[i] = min over edges j->i of (N[j] + minLookahead[j][i])
+ *     N[i] lower-bounds the time of anything lane i could still
+ *     execute or emit. Crucially an *empty* lane with in-edges still
+ *     bounds its downstream lanes through its own earliest possible
+ *     receive time: a message can wake it and make it send (request/
+ *     response chains, an idle CPU woken by an injected IRQ), so it
+ *     must not be treated as unconstraining. Only a lane with no
+ *     in-edges at all leaves its targets unbounded. Because any
+ *     message lane j emits while executing an event at time t >=
+ *     N[j] arrives no earlier than t + lookahead >= N[j] + lookahead
+ *     >= target[i], no lane can ever receive a message in its own
+ *     past — the classic conservative (Chandy-Misra-Bryant) safety
+ *     argument, with the barrier round standing in for null
+ *     messages.
  *  3. Lanes execute their events strictly below their horizons, in
  *     parallel on a persistent worker crew when more than one lane
  *     has work (and parallelism is permitted), serially on the

@@ -572,6 +572,24 @@ TEST(Metrics, DomainsAccumulateByTap)
     EXPECT_EQ(snap.histograms[0].min, 500u);
 }
 
+TEST(MetricsDeath, LateTapAfterPrepareForParallelDies)
+{
+    // prepareForParallel() freezes the tap-indexed arrays so shard
+    // lanes may bump counters concurrently. A tap first touched after
+    // the freeze would have to grow the vector under those readers —
+    // a data race; it must fail deterministically instead.
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    EXPECT_DEATH(
+        {
+            MetricsRegistry reg;
+            reg.machine().counter(internTap("probe.test.early"));
+            reg.prepareForParallel(0);
+            reg.machine().counter(
+                internTap("probe.test.late.never.warmed"));
+        },
+        "after prepareForParallel");
+}
+
 TEST(HistogramStat, BoundedBucketsWithExactEnvelope)
 {
     HistogramStat h;

@@ -164,6 +164,86 @@ TEST(ShardChannel, RedeclarationReusesAndTightens)
     EXPECT_EQ(a.lookahead(), 80u);
 }
 
+TEST(ShardChannel, RedeclarationFollowsNewShardPlan)
+{
+    ShardedEventKernel kern(2);
+    kern.assignShard(deviceShard, 0);
+    kern.assignShard(cpuShard(0), 1);
+    ShardChannel &a = kern.channel("t.req", deviceShard,
+                                   cpuShard(0), 100);
+    EXPECT_TRUE(a.crossLane());
+    EXPECT_EQ(a.dstLane(), 1);
+    // A harness re-planning its shards before rebuilding the world
+    // must see sends routed by the current plan; a redeclaration that
+    // kept the stale lane would silently misroute every message.
+    kern.assignShard(cpuShard(0), 0);
+    ShardChannel &b = kern.channel("t.req", deviceShard,
+                                   cpuShard(0), 100);
+    EXPECT_EQ(&a, &b);
+    EXPECT_FALSE(a.crossLane());
+    EXPECT_EQ(a.dstLane(), 0);
+}
+
+TEST(ShardHorizon, EmptyLaneStillBoundsDownstreamLanes)
+{
+    // Regression: a lane with an empty queue can still be woken by an
+    // inbound message and then send (request/response relays, an idle
+    // CPU woken by an injected IRQ). The horizon must propagate its
+    // earliest possible receive time to the lanes downstream of it;
+    // treating it as unconstraining lets a far-ahead lane drain its
+    // whole queue and then receive the relayed message in its own
+    // past.
+    ShardedEventKernel kern(3);
+    kern.assignShard(0, 0);
+    kern.assignShard(1, 1);
+    kern.assignShard(2, 2);
+    ShardChannel &ab = kern.channel("t.ab", 0, 1, 100);
+    ShardChannel &bc = kern.channel("t.bc", 1, 2, 100);
+
+    // Lane 2: one far-future local event. Lane 1: empty until the
+    // relay arrives. Lane 0: the origin of the chain.
+    std::vector<Cycles> laneCOrder;
+    int relayed = 0;
+    kern.lane(2).scheduleAt(10000, [&laneCOrder] {
+        laneCOrder.push_back(10000);
+    });
+    kern.lane(0).scheduleAt(10, [&] {
+        ab.send(110, [&] {
+            ++relayed;
+            bc.send(210, [&laneCOrder] {
+                laneCOrder.push_back(210);
+            });
+        });
+    });
+    kern.run();
+    EXPECT_EQ(relayed, 1);
+    ASSERT_EQ(laneCOrder.size(), 2u);
+    // The relayed message (t=210) must execute before the far-future
+    // local event, exactly as on the serial kernel.
+    EXPECT_EQ(laneCOrder[0], 210u);
+    EXPECT_EQ(laneCOrder[1], 10000u);
+}
+
+TEST(ShardChannelDeath, SameLaneSendViolatingLookaheadDies)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    EXPECT_DEATH(
+        {
+            // Both endpoints on the single lane: the send takes the
+            // plain scheduleAt path, but the declared latency is
+            // still a contract — a violation must fail in the default
+            // serial configuration, not only once the endpoints land
+            // on different lanes.
+            ShardedEventKernel kern(1);
+            ShardChannel &ch = kern.channel("t.req", deviceShard,
+                                            deviceShard, 100);
+            kern.lane(0).scheduleAt(
+                50, [&ch] { ch.send(149, [] {}); });
+            kern.run();
+        },
+        "violates declared lookahead");
+}
+
 TEST(ShardChannelDeath, RedeclarationWithNewEndpointsDies)
 {
     ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
