@@ -349,6 +349,28 @@ BM_ShardedKernelShards4(benchmark::State &state)
 }
 BENCHMARK(BM_ShardedKernelShards4)->Unit(benchmark::kMillisecond);
 
+/** Four lanes with trace recording forced on (lane-local ring
+ *  segments, per-lane profiler histograms — no export). Against
+ *  BM_ShardedKernelShards4 this isolates the stamping overhead of
+ *  the lane-partitioned observability path; bench_compare.sh reports
+ *  the ratio as its traced-overhead line. */
+void
+BM_ShardedKernelTraced(benchmark::State &state)
+{
+    FleetConfig cfg;
+    cfg.trace = true;
+    std::uint64_t tx = 0;
+    for (auto _ : state) {
+        const FleetResult r = runNetperfRrFleet(cfg, 4);
+        tx = r.transactions;
+        benchmark::DoNotOptimize(tx);
+        benchmark::DoNotOptimize(r.checksum);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(tx));
+}
+BENCHMARK(BM_ShardedKernelTraced)->Unit(benchmark::kMillisecond);
+
 } // namespace
 
 BENCHMARK_MAIN();

@@ -119,6 +119,15 @@ if serial and sharded:
     print(f"bench_compare: sharded-kernel speedup "
           f"(serial / 4 lanes): {serial / sharded:.2f}x")
 
+# Informational: what the lane-partitioned observability path costs
+# while stamping. Traced runs the same world with trace recording
+# (ring segments + per-lane profiler histograms) forced on; the ratio
+# is the per-record overhead, expected within a few percent of 1x.
+traced = cur.get("BM_ShardedKernelTraced")
+if sharded and traced:
+    print(f"bench_compare: traced sharded overhead "
+          f"(traced / untraced, 4 lanes): {traced / sharded:.2f}x")
+
 sys.exit(1 if failed else 0)
 PYEOF
 

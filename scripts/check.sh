@@ -52,10 +52,12 @@ if [[ "$with_tsan" == 1 ]]; then
           -DVIRTSIM_SANITIZE=thread \
           -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
     cmake --build build-tsan -j "$jobs"
-    # The parallel sweep paths and the sharded kernel's crew are what
-    # TSan is here for; force both parallelism knobs on so the suite
-    # exercises them even on a single-core host (TSan interleaves
-    # threads regardless of core count).
+    # The parallel sweep paths, the sharded kernel's crew, and the
+    # lane-partitioned observability sinks (test_probe's concurrent
+    # stamping, barrier timeline sampling, deferred observer flushes)
+    # are what TSan is here for; force both parallelism knobs on so
+    # the suite exercises them even on a single-core host (TSan
+    # interleaves threads regardless of core count).
     VIRTSIM_JOBS=4 VIRTSIM_SHARDS=4 ctest --test-dir build-tsan \
         --output-on-failure -j "$jobs"
 fi

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Validate exported VIRTSIM_SHARD_PROFILE JSON files.
+
+Usage: scripts/validate_shard_profile.py FILE [FILE...]
+
+Checks each file against the "virtsim-shard-profile-1" schema:
+required keys, one lane_detail row per lane in lane order, internally
+consistent wall/busy/wait accounting (busy + wait + stall never
+exceeds lanes * wall beyond rounding), round counts, and well-formed
+critical-channel records. CI runs this over the shard-profile
+artifact the paper-bench job exports so a profiler regression (empty
+lane table, negative wait, unsorted channels) fails the build.
+
+The numbers themselves are host wall-clock and are NOT compared
+against anything — only their shape and invariants are.
+
+Exit status: 0 when every file validates, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_TOP = [
+    "schema", "lanes", "rounds", "parallel_rounds", "wall_ns",
+    "busy_ns_total", "speedup_estimate", "lane_detail",
+    "critical_channels",
+]
+REQUIRED_LANE = [
+    "lane", "busy_ns", "wait_ns", "stall_ns", "events",
+    "stall_rounds",
+]
+REQUIRED_CHANNEL = ["dst", "src", "rounds", "channel"]
+
+
+def validate(path):
+    errors = []
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: unreadable or invalid JSON: {e}"]
+
+    for key in REQUIRED_TOP:
+        if key not in doc:
+            errors.append(f"{path}: missing top-level key '{key}'")
+    if errors:
+        return errors
+
+    if doc["schema"] != "virtsim-shard-profile-1":
+        errors.append(f"{path}: unknown schema '{doc['schema']}'")
+    lanes = doc["lanes"]
+    if lanes < 1:
+        errors.append(f"{path}: profile covers no lanes")
+    if doc["parallel_rounds"] > doc["rounds"]:
+        errors.append(
+            f"{path}: parallel_rounds {doc['parallel_rounds']} > "
+            f"rounds {doc['rounds']}")
+    if doc["speedup_estimate"] < 0:
+        errors.append(f"{path}: negative speedup_estimate")
+
+    detail = doc["lane_detail"]
+    if len(detail) != lanes:
+        errors.append(
+            f"{path}: lane_detail has {len(detail)} rows for "
+            f"{lanes} lanes")
+    busy_total = 0
+    for i, row in enumerate(detail):
+        for key in REQUIRED_LANE:
+            if key not in row:
+                errors.append(f"{path}: lane row missing '{key}'")
+                break
+        else:
+            if row["lane"] != i:
+                errors.append(
+                    f"{path}: lane_detail[{i}] is lane "
+                    f"{row['lane']}; rows must be in lane order")
+            for key in REQUIRED_LANE[1:]:
+                if row[key] < 0:
+                    errors.append(
+                        f"{path}: lane {i} has negative {key}")
+            # waitNs() is clamped at export: a lane can never account
+            # for much more than the whole run's wall time (1% + 1 us
+            # of slack absorbs per-round clock rounding).
+            accounted = row["busy_ns"] + row["wait_ns"] + row["stall_ns"]
+            if accounted > doc["wall_ns"] * 1.01 + 1000:
+                errors.append(
+                    f"{path}: lane {i} accounts {accounted} ns "
+                    f"> wall {doc['wall_ns']} ns")
+            if row["stall_rounds"] > doc["rounds"]:
+                errors.append(
+                    f"{path}: lane {i} stalled {row['stall_rounds']} "
+                    f"rounds out of {doc['rounds']}")
+            busy_total += row["busy_ns"]
+    if busy_total != doc["busy_ns_total"]:
+        errors.append(
+            f"{path}: busy_ns_total {doc['busy_ns_total']} != "
+            f"sum of lane busy_ns {busy_total}")
+
+    prev_rounds = None
+    for c in doc["critical_channels"]:
+        for key in REQUIRED_CHANNEL:
+            if key not in c:
+                errors.append(
+                    f"{path}: critical channel missing '{key}'")
+                break
+        else:
+            if not (0 <= c["dst"] < lanes and 0 <= c["src"] < lanes):
+                errors.append(
+                    f"{path}: critical channel lane out of range: "
+                    f"{c['src']} -> {c['dst']}")
+            if c["rounds"] < 1:
+                errors.append(
+                    f"{path}: critical channel with zero rounds")
+            if prev_rounds is not None and c["rounds"] > prev_rounds:
+                errors.append(
+                    f"{path}: critical_channels not sorted worst "
+                    "first")
+            prev_rounds = c["rounds"]
+
+    if not errors:
+        print(f"{path}: OK ({lanes} lanes, {doc['rounds']} rounds, "
+              f"{doc['parallel_rounds']} parallel, speedup estimate "
+              f"x{doc['speedup_estimate']:.2f})")
+    return errors
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("files", nargs="+")
+    args = ap.parse_args()
+
+    all_errors = []
+    for path in args.files:
+        all_errors.extend(validate(path))
+    for e in all_errors:
+        print(f"validate_shard_profile: {e}", file=sys.stderr)
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,18 +1,44 @@
 #include "core/fleet.hh"
 
+#include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "core/report.hh"
 #include "hw/gic.hh"
 #include "hw/machine.hh"
+#include "sim/attrib.hh"
 #include "sim/channel.hh"
+#include "sim/env.hh"
 #include "sim/log.hh"
 #include "sim/shard.hh"
+#include "sim/shard_profile.hh"
 
 namespace virtsim {
 
 namespace {
+
+/** "out.json" -> "out.fleet.json": fleet exports carry their own tag
+ *  so a bench run arming both a testbed world and the fleet never
+ *  clobbers one export with the other. */
+std::string
+perTagPath(const std::string &path)
+{
+    const std::size_t dot = path.rfind('.');
+    if (dot == std::string::npos ||
+        path.find('/', dot) != std::string::npos)
+        return path + ".fleet";
+    return path.substr(0, dot) + ".fleet" + path.substr(dot);
+}
+
+std::string
+envPath(const char *name)
+{
+    const char *p = std::getenv(name);
+    return (p && *p) ? std::string(p) : std::string();
+}
 
 /** One persistent TCP_RR connection. All fields except `cpu` are
  *  client-side state, touched only by lane-0 events. */
@@ -39,6 +65,16 @@ struct FleetWorld
     std::vector<ShardChannel *> rsp; ///< per-CPU server -> client
     std::vector<FleetConn> conns;
     std::uint64_t transactions = 0;
+
+    /** Observability opt-ins (same env knobs as core/testbed, with a
+     *  ".fleet" path tag). */
+    std::string tracePath;
+    std::string metricsPath;
+    std::string flamePath;
+    std::string timelinePath;
+    std::string shardProfilePath;
+    double timelineHz = 100000.0;
+    std::unique_ptr<CausalAnalyzer> attrib;
 
     FleetWorld(const FleetConfig &c, int lanes)
         : cfg(c), kern(lanes), mc(MachineConfig::hpMoonshotM400())
@@ -80,7 +116,10 @@ struct FleetWorld
         gic->injectVirq(0, 0, spiNicIrq);
         gic->guestAckVirq(0);
         gic->guestCompleteVirq(0, spiNicIrq);
+        mach->probe().warmTraceHealth();
         mach->metrics().prepareForParallel(cfg.nCpus);
+
+        armObservability(lanes);
 
         conns.resize(static_cast<std::size_t>(cfg.nCpus) *
                      static_cast<std::size_t>(cfg.connsPerCpu));
@@ -88,6 +127,115 @@ struct FleetWorld
             conns[k].cpu =
                 static_cast<int>(k) / cfg.connsPerCpu;
             conns[k].remaining = cfg.transactionsPerConn;
+        }
+    }
+
+    /**
+     * Arm the observability sinks the environment asked for, the
+     * fleet way: everything lane-partitioned, nothing serialized.
+     * Called after the tap warm-up above — prepareForParallel freezes
+     * the tap-indexed arrays, so every tap the run will stamp must be
+     * interned first.
+     */
+    void
+    armObservability(int lanes)
+    {
+        tracePath = envPath("VIRTSIM_TRACE");
+        metricsPath = envPath("VIRTSIM_METRICS");
+        flamePath = envPath("VIRTSIM_FLAME");
+        timelinePath = envPath("VIRTSIM_TIMELINE");
+        shardProfilePath = envPath("VIRTSIM_SHARD_PROFILE");
+        if (const auto hz = envPositiveCount("VIRTSIM_TIMELINE_HZ",
+                                             std::uint64_t{1} << 40)) {
+            timelineHz = static_cast<double>(*hz);
+        }
+
+        Probe &probe = mach->probe();
+        if (cfg.trace || !tracePath.empty() || !flamePath.empty()) {
+            if (const auto cap = envPositiveCount(
+                    "VIRTSIM_TRACE_CAPACITY", std::uint64_t{1} << 32))
+                probe.trace.setCapacity(
+                    static_cast<std::size_t>(*cap));
+            probe.trace.enable();
+            probe.trace.prepareForParallel(lanes);
+        }
+        if (!flamePath.empty()) {
+            // The analyzer streams through the deferred observer at
+            // every lane count: the kernel flushes records to it in
+            // canonical merged order at each barrier round, so the
+            // folded stacks come out byte-identical whether one lane
+            // stamped everything or eight did.
+            attrib = std::make_unique<CausalAnalyzer>("fleet");
+            probe.trace.setObserver(attrib.get());
+            probe.trace.setObserverDeferred(true);
+        }
+        // As in the testbed, sampling also arms under VIRTSIM_TRACE
+        // alone so the Perfetto export carries counter tracks. The
+        // kernel samples gauges between rounds (sampleTick) — the
+        // fleet never runs the in-queue tick chain.
+        if (!timelinePath.empty() || !tracePath.empty()) {
+            const Cycles period = std::max<Cycles>(
+                1,
+                mach->freq().cyclesFromSeconds(1.0 / timelineHz));
+            probe.timeline.enable(period);
+        }
+        if (cfg.trace || !tracePath.empty() || !metricsPath.empty() ||
+            !flamePath.empty() || !timelinePath.empty()) {
+            probe.profiler.prepareForParallel(lanes,
+                                              internedTapCount());
+            for (int i = 0; i < lanes; ++i)
+                kern.lane(i).setProfiler(&probe.profiler);
+        }
+        if (probe.trace.enabled() || probe.timeline.enabled())
+            kern.attachProbe(&probe);
+        if (!shardProfilePath.empty())
+            kern.enableShardProfile();
+    }
+
+    /** Write every armed export. Called once, after the run. */
+    void
+    exportObservability()
+    {
+        const TimelineSampler &tl = mach->probe().timeline;
+        const ShardProfile *sp = kern.shardProfile().enabled()
+                                     ? &kern.shardProfile()
+                                     : nullptr;
+        if (!tracePath.empty()) {
+            exportChromeTrace(perTagPath(tracePath), mach->trace(),
+                              mach->freq(), "fleet", &tl, sp);
+        }
+        if (!shardProfilePath.empty()) {
+            exportShardProfile(perTagPath(shardProfilePath),
+                               kern.shardProfile());
+            inform("\n", renderShardSummary(kern.shardProfile()));
+        }
+        if (!flamePath.empty() && attrib)
+            attrib->writeFoldedFile(perTagPath(flamePath), "fleet");
+        if (!timelinePath.empty()) {
+            const std::string path = perTagPath(timelinePath);
+            std::ofstream os(path);
+            if (!os) {
+                warn("cannot open timeline file ", path);
+            } else if (path.size() > 4 &&
+                       path.compare(path.size() - 4, 4, ".csv") ==
+                           0) {
+                os << tl.renderCsv(mach->freq());
+            } else {
+                os << tl.renderJson(mach->freq()) << "\n";
+            }
+        }
+        if (!metricsPath.empty()) {
+            mach->probe().syncTraceHealth();
+            tl.publishAnomalies(mach->metrics());
+            if (envPositiveCount("VIRTSIM_SHARD_STATS", 1))
+                kern.publishStats(mach->metrics());
+            const std::string path = perTagPath(metricsPath);
+            std::ofstream os(path);
+            if (!os) {
+                warn("cannot open metrics file ", path);
+            } else {
+                os << mach->metrics().snapshot().toJson() << "\n";
+            }
         }
     }
 
@@ -182,6 +330,7 @@ struct FleetWorld
 
         r.rounds = kern.stats().rounds;
         r.parallelRounds = kern.stats().parallelRounds;
+        exportObservability();
         return r;
     }
 };

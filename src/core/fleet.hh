@@ -58,6 +58,9 @@ struct FleetConfig
     Cycles requestWork = 9000;
     /** Client think time between a response and the next request. */
     Cycles clientThink = 600;
+    /** Force trace recording on even without VIRTSIM_TRACE (no file
+     *  export) — benches measuring traced-run overhead use this. */
+    bool trace = false;
 };
 
 /**

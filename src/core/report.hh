@@ -15,6 +15,7 @@ namespace virtsim {
 
 class Frequency;
 class TimelineSampler;
+struct ShardProfile;
 
 /**
  * A simple right-aligned text table.
@@ -66,6 +67,16 @@ std::string renderSparkline(const TimelineSampler &timeline,
 std::string renderTimelineSummary(
     const TimelineSampler &timeline, const Frequency &freq,
     const std::vector<std::string> &gauges);
+
+/**
+ * Multi-line summary of a parallel-kernel profile (sim/shard_profile):
+ * realized speedup, a per-lane busy/wait/stall wall-time table, and
+ * the top critical channels — which declared lookahead to tighten for
+ * the run to scale further. Empty string when the profile was never
+ * armed. Host wall-clock numbers: print next to bench tables, never
+ * diff byte-for-byte.
+ */
+std::string renderShardSummary(const ShardProfile &profile);
 
 } // namespace virtsim
 

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <mutex>
 
+#include "core/report.hh"
 #include "os/kernel.hh"
 #include "sim/env.hh"
 #include "sim/log.hh"
@@ -146,6 +147,14 @@ Testbed::Testbed(TestbedConfig config)
                                          std::uint64_t{1} << 40)) {
         timelineHz = static_cast<double>(*hz);
     }
+    // VIRTSIM_SHARD_PROFILE=<file> records the parallel-kernel wall
+    // time profile (per-lane busy/wait/stall, critical channels) and
+    // writes it as JSON at teardown. Host-clock measurements — not
+    // part of the byte-identity guarantee the other exports meet.
+    if (const char *p = std::getenv("VIRTSIM_SHARD_PROFILE")) {
+        if (*p)
+            shardProfilePath = p;
+    }
     applyObservability();
 }
 
@@ -168,14 +177,15 @@ Testbed::applyObservability()
         !flamePath.empty() || !timelinePath.empty()) {
         eq.setProfiler(&server->probe().profiler);
     }
-    // Stamping order into the trace ring, timeline and profiler is a
-    // global side channel the parallel round path does not reproduce;
-    // force the serial path whenever any sink is armed. (Classic
-    // worlds run on one lane anyway; this is the policy the fleet
-    // world relies on.)
-    kern.setSerialFallback(timelineWanted || !tracePath.empty() ||
-                           !metricsPath.empty() || !flamePath.empty() ||
-                           !timelinePath.empty());
+    if (!shardProfilePath.empty())
+        kern.enableShardProfile();
+    // No serial fallback: sinks are lane-partitioned and exports
+    // merge them in canonical order (sim/probe), so the parallel
+    // round path and the serial path produce identical bytes. Classic
+    // worlds place every model component on lane 0 (default
+    // MachineShardPlan), so all stamping lands in segment 0 and the
+    // in-queue timeline tick chain keeps its exact semantics at any
+    // VIRTSIM_SHARDS.
 }
 
 void
@@ -244,20 +254,43 @@ perKindPath(const std::string &path, SutKind kind)
 
 Testbed::~Testbed()
 {
+    exportObservability();
+}
+
+void
+Testbed::exportObservability()
+{
     if (tracePath.empty() && metricsPath.empty() &&
-        flamePath.empty() && timelinePath.empty()) {
+        flamePath.empty() && timelinePath.empty() &&
+        shardProfilePath.empty()) {
         return;
     }
+    // Once per run: a cached testbed exports when its lease is
+    // released, and must not clobber those files with post-reset
+    // emptiness when the cache is finally destroyed. reset() re-arms.
+    if (observabilityExported)
+        return;
+    observabilityExported = true;
     // Parallel sweeps tear testbeds down from worker threads; exports
     // go one at a time. Same-kind testbeds still share a path (last
     // writer wins); distinct configurations never clobber each other.
     static std::mutex export_mutex;
     std::lock_guard<std::mutex> lock(export_mutex);
     const TimelineSampler &tl = server->probe().timeline;
+    // The shard profile merges into the Perfetto export as counter
+    // tracks only when explicitly armed, keeping the default trace
+    // free of host-timing noise.
+    const ShardProfile *sp =
+        kern.shardProfile().enabled() ? &kern.shardProfile() : nullptr;
     if (!tracePath.empty()) {
         exportChromeTrace(perKindPath(tracePath, cfg.kind),
                           server->trace(), server->freq(),
-                          to_string(cfg.kind), &tl);
+                          to_string(cfg.kind), &tl, sp);
+    }
+    if (!shardProfilePath.empty()) {
+        exportShardProfile(perKindPath(shardProfilePath, cfg.kind),
+                           kern.shardProfile());
+        inform("\n", renderShardSummary(kern.shardProfile()));
     }
     if (!flamePath.empty() && _attrib) {
         _attrib->writeFoldedFile(perKindPath(flamePath, cfg.kind),
@@ -354,6 +387,7 @@ Testbed::reset()
         buildVirtualized();
     else
         buildNative();
+    observabilityExported = false; // the next run exports again
     applyObservability();
 }
 
@@ -620,18 +654,11 @@ testbedCacheStats()
 bool
 testbedCacheEnabled()
 {
-    const auto isSet = [](const char *name) {
-        const char *v = std::getenv(name);
-        return v && *v;
-    };
-    // Export happens in ~Testbed; cached worlds in persistent pool
-    // workers would only be destroyed at process teardown, so
-    // observability runs always cold-build (and stay byte-identical
-    // to pre-cache behaviour).
-    if (isSet("VIRTSIM_TRACE") || isSet("VIRTSIM_METRICS") ||
-        isSet("VIRTSIM_FLAME") || isSet("VIRTSIM_TIMELINE")) {
-        return false;
-    }
+    // Observability no longer bypasses the cache: exports fire when a
+    // lease is released (TestbedLease::~TestbedLease ->
+    // exportObservability()), not only in ~Testbed, and reset()
+    // rebuilds every sink to its fresh state — so a cached world's
+    // exports are byte-identical to a cold build's.
     if (const char *v = std::getenv("VIRTSIM_POOL_CACHE"))
         return !(v[0] == '0' && v[1] == '\0');
     return true;

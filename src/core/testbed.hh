@@ -229,6 +229,16 @@ class Testbed
     TimelineSampler &timeline() { return server->probe().timeline; }
 
     /**
+     * Write every export armed at construction (VIRTSIM_TRACE /
+     * METRICS / FLAME / TIMELINE / SHARD_PROFILE). Runs at most once
+     * per run: the destructor calls it, and so does TestbedLease
+     * release, so cached worlds parked in persistent pool workers
+     * export without waiting for process teardown; reset() re-arms
+     * for the next run. No-op with no export armed.
+     */
+    void exportObservability();
+
+    /**
      * Programmatically arm timeline sampling at the given rate, as if
      * VIRTSIM_TIMELINE_HZ were set (no file export unless a path was
      * configured too). For tests and benches that want the series or
@@ -273,6 +283,10 @@ class Testbed
     std::string metricsPath; ///< VIRTSIM_METRICS destination, if set
     std::string flamePath;   ///< VIRTSIM_FLAME destination, if set
     std::string timelinePath; ///< VIRTSIM_TIMELINE destination, if set
+    /** VIRTSIM_SHARD_PROFILE destination, if set. */
+    std::string shardProfilePath;
+    /** exportObservability() already ran for the current run. */
+    bool observabilityExported = false;
     /** Sampling rate in simulated Hz (VIRTSIM_TIMELINE_HZ or
      *  enableTimeline()); 100 kHz default keeps a Table V run well
      *  inside the per-series capacity. */
@@ -320,8 +334,12 @@ class TestbedLease
 
     ~TestbedLease()
     {
-        if (inUse)
+        if (inUse) {
+            // Cached worlds outlive the lease inside the pool worker;
+            // flush their exports now, not at process teardown.
+            cached->exportObservability();
             *inUse = false;
+        }
     }
 
     Testbed *get() { return owning ? owning.get() : cached; }
@@ -346,13 +364,12 @@ struct TestbedCacheStats
 TestbedCacheStats testbedCacheStats();
 
 /**
- * Whether acquireTestbed() may serve cached worlds. False when
+ * Whether acquireTestbed() may serve cached worlds. False only when
  * VIRTSIM_POOL_CACHE=0 (force cold-build, e.g. to bisect a suspected
- * reset bug) or when any of VIRTSIM_TRACE/VIRTSIM_METRICS/
- * VIRTSIM_FLAME is set: export happens in ~Testbed, and cached
- * instances inside persistent pool workers would not be destroyed
- * until process exit, so observability runs always cold-build.
- * Re-read per call.
+ * reset bug). Observability opt-ins no longer bypass the cache:
+ * exports flush on lease release (exportObservability) and reset()
+ * restores every sink to its fresh state, so cached runs export
+ * byte-identically to cold builds. Re-read per call.
  */
 bool testbedCacheEnabled();
 

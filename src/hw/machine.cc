@@ -57,7 +57,7 @@ Machine::Machine(EventQueue &eq, MachineConfig config)
 Machine::Machine(ShardedEventKernel &kern,
                  const MachineShardPlan &plan, MachineConfig config)
     : cfg(std::move(config)), eq(kern.lane(plan.deviceLane)),
-      _mmu(cfg.costs, _stats, cfg.nCpus, &_probe),
+      _kern(&kern), _mmu(cfg.costs, _stats, cfg.nCpus, &_probe),
       _memory(cfg.costs, _stats)
 {
     VIRTSIM_ASSERT(cfg.nCpus > 0, "machine needs at least one cpu");
@@ -146,8 +146,19 @@ Machine::registerTimelineGauges()
                         track);
         }
     }
+    // Pending events across the whole world, not just the home lane:
+    // under a shard plan the count must not depend on how the events
+    // happen to be partitioned. Safe to read from a sampling tick —
+    // classic worlds keep every component (and so every event) on the
+    // home lane, and the fleet samples at barriers, lanes quiesced.
     tl.addGauge("event_queue.depth", [this] {
-        return static_cast<std::int64_t>(eq.pending());
+        if (!_kern)
+            return static_cast<std::int64_t>(eq.pending());
+        std::int64_t total = 0;
+        for (int i = 0; i < _kern->laneCount(); ++i)
+            total += static_cast<std::int64_t>(
+                _kern->lane(i).pending());
+        return total;
     });
     tl.addGauge("nic.rx_queue", [this] {
         return static_cast<std::int64_t>(_nic->rxQueueDepth());

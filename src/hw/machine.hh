@@ -168,6 +168,10 @@ class Machine
 
     MachineConfig cfg;
     EventQueue &eq;
+    /** Owning kernel under shard-aware construction; null for the
+     *  plain EventQueue constructor. Lets world-wide gauges sum over
+     *  lanes instead of reporting one lane's share. */
+    ShardedEventKernel *_kern = nullptr;
     StatRegistry _stats;
     Probe _probe;
     std::vector<std::unique_ptr<PhysicalCpu>> cpus;

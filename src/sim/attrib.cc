@@ -234,6 +234,12 @@ CausalAnalyzer::onTraceRecord(const TraceRecord &r)
         BlameTerm &term = blame[r.tap.raw()];
         term.cycles += flight;
         term.count += 1;
+        // In-flight time is not on any span stack; surface it in the
+        // flamegraph as a root-level frame so edge-dominated worlds
+        // (device wires, vIRQ delivery) still produce folds.
+        Fold &cell = folded[std::vector<std::uint32_t>{r.tap.raw()}];
+        cell.cycles += flight;
+        cell.count += 1;
         ++_edgesLinked;
         outstanding.erase(it);
         return;
@@ -379,7 +385,8 @@ CausalAnalyzer::writeFolded(std::ostream &os, const std::string &root)
                 line += ";";
             line += tapName(TapId::fromRaw(raw));
         }
-        line += " " + std::to_string(f.cycles);
+        line += ' ';
+        line += std::to_string(f.cycles);
         lines.push_back(std::move(line));
     }
     // Lexicographic by the *name* path, deterministic across runs.

@@ -167,7 +167,8 @@ class CausalAnalyzer : public TraceObserver
 
     /** Write folded flamegraph stacks ("a;b;c cycles" lines, sorted
      *  lexicographically). @p root prefixes every stack (typically
-     *  the SUT label). */
+     *  the SUT label). Linked edges contribute a root-level frame
+     *  per edge tap carrying the summed in-flight cycles. */
     void writeFolded(std::ostream &os, const std::string &root = "");
 
     /** writeFolded to a file. @return false if it failed to open. */

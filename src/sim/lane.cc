@@ -1,0 +1,9 @@
+#include "sim/lane.hh"
+
+namespace virtsim {
+namespace detail {
+
+thread_local int tl_exec_lane = -1;
+
+} // namespace detail
+} // namespace virtsim

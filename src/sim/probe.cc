@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "sim/log.hh"
+#include "sim/shard_profile.hh"
 
 namespace virtsim {
 
@@ -138,13 +139,104 @@ TraceSink::setCapacity(std::size_t records)
     std::size_t n = 1;
     while (n < records)
         n <<= 1;
-    // Uninitialized on purpose: slots are write-before-read, and a
-    // zero-fill here would fault in every page of a ring most runs
-    // only partially use.
-    ring = std::make_unique_for_overwrite<TraceRecord[]>(n);
     cap = n;
-    head = 0;
-    _total = 0;
+    for (Seg &s : segs) {
+        // Uninitialized on purpose: slots are write-before-read, and
+        // a zero-fill here would fault in every page of a ring most
+        // runs only partially use.
+        s.ring = std::make_unique_for_overwrite<TraceRecord[]>(n);
+        s.head = 0;
+        s.total = 0;
+        s.truncated = 0;
+        s.edgeSeq = 0;
+        s.obsMark = 0;
+    }
+}
+
+void
+TraceSink::prepareForParallel(int lanes)
+{
+    VIRTSIM_ASSERT(lanes >= 1 && lanes <= maxLanes,
+                   "bad trace lane count ", lanes);
+    segs.resize(static_cast<std::size_t>(lanes));
+    if (cap > 0)
+        setCapacity(cap); // re-ring every segment, dropping records
+}
+
+bool
+TraceSink::mergeLess(const MergeRef &a, const MergeRef &b)
+{
+    if (a.when != b.when)
+        return a.when < b.when;
+    if (a.kindPrio != b.kindPrio)
+        return a.kindPrio < b.kindPrio;
+    if (a.track != b.track)
+        return a.track < b.track;
+    if (a.seg != b.seg)
+        return a.seg < b.seg;
+    return a.pos < b.pos;
+}
+
+std::vector<TraceSink::MergeRef>
+TraceSink::mergeOrder() const
+{
+    std::vector<MergeRef> order;
+    order.reserve(size());
+    for (std::size_t si = 0; si < segs.size(); ++si) {
+        const Seg &s = segs[si];
+        const std::size_t n = segSize(s);
+        const std::uint64_t first = s.total - n;
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t slot =
+                s.total <= cap ? i : (s.head + i) & (cap - 1);
+            const TraceRecord &r = s.ring[slot];
+            order.push_back({r.when, first + i,
+                             static_cast<std::uint32_t>(si),
+                             static_cast<std::uint32_t>(slot), r.track,
+                             static_cast<std::uint8_t>(
+                                 r.kind == TraceKind::EdgeOut ? 0
+                                                              : 1)});
+        }
+    }
+    // No ties: (seg, pos) is unique, so the non-stable sort is
+    // deterministic.
+    std::sort(order.begin(), order.end(), mergeLess);
+    return order;
+}
+
+void
+TraceSink::flushObserver()
+{
+    if (!obs || !obsDeferred)
+        return;
+    std::vector<MergeRef> batch;
+    for (std::size_t si = 0; si < segs.size(); ++si) {
+        Seg &s = segs[si];
+        const std::size_t n = segSize(s);
+        const std::uint64_t first = s.total - n;
+        const std::uint64_t from =
+            s.obsMark > first ? s.obsMark : first;
+        for (std::uint64_t i = from; i < s.total; ++i) {
+            const auto idx = static_cast<std::size_t>(i - first);
+            const std::size_t slot =
+                s.total <= cap ? idx : (s.head + idx) & (cap - 1);
+            batch.push_back({s.ring[slot].when, i,
+                             static_cast<std::uint32_t>(si),
+                             static_cast<std::uint32_t>(slot),
+                             s.ring[slot].track,
+                             static_cast<std::uint8_t>(
+                                 s.ring[slot].kind ==
+                                         TraceKind::EdgeOut
+                                     ? 0
+                                     : 1)});
+        }
+        s.obsMark = s.total;
+    }
+    if (batch.empty())
+        return;
+    std::sort(batch.begin(), batch.end(), mergeLess);
+    for (const MergeRef &m : batch)
+        obs->onTraceRecord(segs[m.seg].ring[m.slot]);
 }
 
 std::optional<Cycles>
@@ -184,10 +276,35 @@ TraceSink::between(std::uint64_t flow, TapId from, TapId to) const
     return std::nullopt;
 }
 
+namespace {
+
+/** Emit a shard profile's per-lane wall-time splits as Chrome counter
+ *  events ("ph":"C"), one track per lane, pinned at ts 0 (the values
+ *  are whole-run host-time totals, not simulated-time samples). */
+void
+writeShardProfileCounters(std::ostream &os, const ShardProfile &p)
+{
+    for (std::size_t i = 0; i < p.lanes.size(); ++i) {
+        const ShardProfile::Lane &ln = p.lanes[i];
+        os << ",\n{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":0.0000,"
+              "\"name\":\"shard.lane"
+           << i << ".walltime_us\",\"cat\":\"shard\",\"args\":{"
+              "\"busy\":"
+           << formatUs(static_cast<double>(ln.busyNs) / 1e3)
+           << ",\"wait\":"
+           << formatUs(static_cast<double>(p.waitNs(i)) / 1e3)
+           << ",\"stall\":"
+           << formatUs(static_cast<double>(ln.stallNs) / 1e3) << "}}";
+    }
+}
+
+} // namespace
+
 void
 writeChromeTrace(std::ostream &os, const TraceSink &sink,
                  const Frequency &freq, const std::string &process,
-                 const TimelineSampler *timeline)
+                 const TimelineSampler *timeline,
+                 const ShardProfile *profile)
 {
     os << "{\"traceEvents\":[\n";
     os << "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
@@ -224,18 +341,24 @@ writeChromeTrace(std::ostream &os, const TraceSink &sink,
            << "}}";
     }
 
-    sink.forEach([&os, &freq](const TraceRecord &r) {
+    // Raw edge tokens encode the issuing lane, so their values depend
+    // on the lane partition; renumber flows by first appearance in
+    // canonical merged order, which does not.
+    std::unordered_map<std::uint64_t, std::uint64_t> flowIds;
+    sink.forEachMerged([&os, &freq, &flowIds](const TraceRecord &r) {
         // Causal edges render as Chrome flow events: an arrow from
         // the EdgeOut record to the matching EdgeIn, tied by token.
         if (r.kind == TraceKind::EdgeOut ||
             r.kind == TraceKind::EdgeIn) {
             const bool out = r.kind == TraceKind::EdgeOut;
+            const auto it =
+                flowIds.try_emplace(r.arg, flowIds.size() + 1).first;
             os << ",\n{\"ph\":\"" << (out ? "s" : "f") << "\"";
             if (!out)
                 os << ",\"bp\":\"e\"";
             os << ",\"pid\":0,\"tid\":" << r.track
                << ",\"ts\":" << formatUs(freq.us(r.when))
-               << ",\"id\":" << r.arg << ",\"name\":\""
+               << ",\"id\":" << it->second << ",\"name\":\""
                << jsonEscape(tapName(r.tap)) << "\",\"cat\":\""
                << to_string(r.cat) << "\"}";
             return;
@@ -257,6 +380,12 @@ writeChromeTrace(std::ostream &os, const TraceSink &sink,
     if (timeline)
         timeline->writeCounterEvents(os, freq);
 
+    // Per-lane kernel wall-time splits render alongside, one counter
+    // track per lane. Host-clock measurements: only merged in when
+    // explicitly passed, so deterministic exports stay deterministic.
+    if (profile)
+        writeShardProfileCounters(os, *profile);
+
     os << "\n],\"otherData\":{\"recordCount\":" << sink.size()
        << ",\"droppedRecords\":" << sink.dropped()
        << ",\"truncatedSpans\":" << sink.truncatedSpans() << "}}\n";
@@ -265,7 +394,8 @@ writeChromeTrace(std::ostream &os, const TraceSink &sink,
 bool
 exportChromeTrace(const std::string &path, const TraceSink &sink,
                   const Frequency &freq, const std::string &process,
-                  const TimelineSampler *timeline)
+                  const TimelineSampler *timeline,
+                  const ShardProfile *profile)
 {
     std::ofstream os(path);
     if (!os) {
@@ -277,7 +407,7 @@ exportChromeTrace(const std::string &path, const TraceSink &sink,
              " dropped records, ", sink.truncatedSpans(),
              " truncated spans (raise VIRTSIM_TRACE_CAPACITY)");
     }
-    writeChromeTrace(os, sink, freq, process, timeline);
+    writeChromeTrace(os, sink, freq, process, timeline, profile);
     return true;
 }
 
@@ -295,6 +425,16 @@ Probe::syncTraceHealth()
     };
     topUp("trace.health.dropped_records", trace.dropped());
     topUp("trace.health.truncated_spans", trace.truncatedSpans());
+}
+
+void
+Probe::warmTraceHealth()
+{
+    // Interning alone is enough: prepareForParallel() sizes the
+    // counter arrays from internedTapCount(), and no counter row is
+    // registered until a sync actually reports loss.
+    internTap("trace.health.dropped_records");
+    internTap("trace.health.truncated_spans");
 }
 
 void
@@ -509,25 +649,60 @@ MetricsSnapshot::toJson() const
     return out;
 }
 
+void
+EventKernelProfiler::prepareForParallel(int lanes,
+                                        std::size_t tapCount)
+{
+    VIRTSIM_ASSERT(lanes >= 1, "bad profiler lane count ", lanes);
+    hists.clear();
+    // Raw tap ids are 1-based; slot 0 holds the invalid label.
+    laneHists.assign(static_cast<std::size_t>(lanes),
+                     std::vector<HistogramStat>(tapCount + 1));
+}
+
+std::size_t
+EventKernelProfiler::labelLimit() const
+{
+    return laneHists.empty() ? hists.size() : laneHists[0].size();
+}
+
+HistogramStat
+EventKernelProfiler::mergedAt(std::size_t i) const
+{
+    HistogramStat h;
+    for (const std::vector<HistogramStat> &lane : laneHists) {
+        if (i < lane.size())
+            h.merge(lane[i]);
+    }
+    return h;
+}
+
 const HistogramStat *
 EventKernelProfiler::histogram(TapId label) const
 {
     const std::size_t i = label.raw();
-    if (i >= hists.size() || hists[i].count() == 0)
+    if (laneHists.empty()) {
+        if (i >= hists.size() || hists[i].count() == 0)
+            return nullptr;
+        return &hists[i];
+    }
+    if (i >= labelLimit())
         return nullptr;
-    return &hists[i];
+    mergeScratch = mergedAt(i);
+    return mergeScratch.count() == 0 ? nullptr : &mergeScratch;
 }
 
 std::string
 EventKernelProfiler::render() const
 {
-    std::vector<std::pair<std::string, const HistogramStat *>> rows;
-    for (std::size_t i = 0; i < hists.size(); ++i) {
-        if (hists[i].count() == 0)
+    std::vector<std::pair<std::string, HistogramStat>> rows;
+    for (std::size_t i = 0; i < labelLimit(); ++i) {
+        HistogramStat h = laneHists.empty() ? hists[i] : mergedAt(i);
+        if (h.count() == 0)
             continue;
         const TapId tap = TapId::fromRaw(static_cast<std::uint32_t>(i));
         rows.emplace_back(tap.valid() ? tapName(tap) : "(unlabeled)",
-                          &hists[i]);
+                          h);
     }
     std::sort(rows.begin(), rows.end(),
               [](const auto &a, const auto &b) {
@@ -536,10 +711,10 @@ EventKernelProfiler::render() const
     std::string out;
     for (const auto &[name, h] : rows) {
         char buf[64];
-        std::snprintf(buf, sizeof(buf), "%.1f", h->mean());
-        out += name + " : n=" + std::to_string(h->count()) +
-               " min=" + std::to_string(h->min()) + " mean=" + buf +
-               " max=" + std::to_string(h->max()) + "\n";
+        std::snprintf(buf, sizeof(buf), "%.1f", h.mean());
+        out += name + " : n=" + std::to_string(h.count()) +
+               " min=" + std::to_string(h.min()) + " mean=" + buf +
+               " max=" + std::to_string(h.max()) + "\n";
     }
     return out;
 }

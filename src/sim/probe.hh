@@ -37,6 +37,7 @@
 #include <string_view>
 #include <vector>
 
+#include "sim/lane.hh"
 #include "sim/log.hh"
 #include "sim/stats.hh"
 #include "sim/timeline.hh"
@@ -44,6 +45,8 @@
 #include "sim/units.hh"
 
 namespace virtsim {
+
+struct ShardProfile;
 
 /**
  * Interned identifier of a trace tap (a named instrumentation point
@@ -145,16 +148,32 @@ class TraceObserver
 };
 
 /**
- * Fixed-capacity ring buffer of trace records. Disabled by default:
- * every stamping call is then a single predictable branch. When the
- * ring is full the oldest records are overwritten and counted in
- * dropped() — overflow is never silent (the exporter and reports
- * surface the count).
+ * Fixed-capacity ring buffer of trace records, partitioned into
+ * lane-local segments. Disabled by default: every stamping call is
+ * then a single predictable branch. When a segment is full its oldest
+ * records are overwritten and counted in dropped() — overflow is
+ * never silent (the exporter and reports surface the count).
+ *
+ * Lane model: the sink owns one ring segment per kernel lane
+ * (prepareForParallel(); one segment — the classic serial shape — by
+ * default). A stamping call writes only the calling thread's own
+ * segment (currentExecLane(), clamped to segment 0 for setup-context
+ * stamping), so concurrent lanes never synchronize, share a cache
+ * line, or contend while stamping. Exports visit the segments through
+ * a canonical merge (see forEachMerged) whose order is a pure
+ * function of the record multiset, making exported bytes identical at
+ * every lane count as long as no records were dropped. Capacity is
+ * per segment.
  */
 class TraceSink
 {
   public:
     static constexpr std::size_t defaultCapacity = 1u << 15;
+
+    /** Edge tokens reserve this many low bits for the issuing lane,
+     *  so per-lane token sequences never collide. */
+    static constexpr int laneTokenBits = 10;
+    static constexpr int maxLanes = 1 << laneTokenBits;
 
     /** Start recording (allocates the ring on first use). */
     void
@@ -169,40 +188,68 @@ class TraceSink
     bool enabled() const { return _enabled; }
 
     /**
-     * Resize the ring (rounded up to a power of two) and drop all
-     * records. Call before enabling, or between runs.
+     * Resize each lane segment (rounded up to a power of two) and
+     * drop all records. Call before enabling, or between runs.
      */
     void setCapacity(std::size_t records);
 
+    /** Capacity of each lane segment. */
     std::size_t capacity() const { return cap; }
 
+    /**
+     * Partition the sink into `lanes` ring segments (dropping any
+     * held records), so each kernel lane stamps into its own segment
+     * with zero cross-lane synchronization. Call from the setup
+     * thread, before lanes run. A single-lane world needs no call:
+     * the default single segment is the serial shape.
+     */
+    void prepareForParallel(int lanes);
+
+    int laneCount() const { return static_cast<int>(segs.size()); }
+
     /** Drop all records, the dropped/truncated counts and the edge
-     *  token sequence; capacity, the enabled flag and any attached
-     *  observer are retained. */
+     *  token sequences; capacity, segmentation, the enabled flag and
+     *  any attached observer are retained. */
     void
     clear()
     {
-        head = 0;
-        _total = 0;
-        _truncated = 0;
-        edgeSeq = 0;
+        for (Seg &s : segs) {
+            s.head = 0;
+            s.total = 0;
+            s.truncated = 0;
+            s.edgeSeq = 0;
+            s.obsMark = 0;
+        }
     }
 
-    /** Records currently retained. */
+    /** Records currently retained, across all segments. */
     std::size_t
     size() const
     {
-        return _total < cap ? static_cast<std::size_t>(_total) : cap;
+        std::size_t n = 0;
+        for (const Seg &s : segs)
+            n += segSize(s);
+        return n;
     }
 
-    /** Records ever written (retained + dropped). */
-    std::uint64_t total() const { return _total; }
+    /** Records ever written (retained + dropped), all segments. */
+    std::uint64_t
+    total() const
+    {
+        std::uint64_t n = 0;
+        for (const Seg &s : segs)
+            n += s.total;
+        return n;
+    }
 
-    /** Records overwritten because the ring wrapped. */
+    /** Records overwritten because a segment wrapped. */
     std::uint64_t
     dropped() const
     {
-        return _total > cap ? _total - cap : 0;
+        std::uint64_t n = 0;
+        for (const Seg &s : segs)
+            n += s.total > cap ? s.total - cap : 0;
+        return n;
     }
 
     /**
@@ -213,13 +260,42 @@ class TraceSink
      * reports and the exporter surface it, and Probe::syncTraceHealth
      * publishes it into the metrics snapshot.
      */
-    std::uint64_t truncatedSpans() const { return _truncated; }
+    std::uint64_t
+    truncatedSpans() const
+    {
+        std::uint64_t n = 0;
+        for (const Seg &s : segs)
+            n += s.truncated;
+        return n;
+    }
 
     /** Attach (or detach, with nullptr) a streaming observer that
      *  sees every record pushed while the sink is enabled. */
     void setObserver(TraceObserver *o) { obs = o; }
 
     TraceObserver *observer() const { return obs; }
+
+    /**
+     * Switch observer dispatch from inline (at every push, on the
+     * stamping thread — the classic streaming mode) to deferred:
+     * records accumulate in their lane segments and are delivered in
+     * canonical merged order by flushObserver(), which the sharded
+     * kernel calls at every barrier round. Multi-lane worlds MUST use
+     * deferred mode — inline dispatch from concurrent lanes would
+     * race on the observer.
+     */
+    void setObserverDeferred(bool on) { obsDeferred = on; }
+    bool observerDeferred() const { return obsDeferred; }
+
+    /**
+     * Deliver every not-yet-delivered record to the observer, merged
+     * across segments in canonical order. Call between rounds (or
+     * after a run) from one thread. Records a segment overwrote
+     * before a flush reached them are lost to the observer and show
+     * up in dropped() — flush at least once per ring-fill to stream
+     * losslessly.
+     */
+    void flushObserver();
 
     /** @name Stamping
      *
@@ -292,8 +368,11 @@ class TraceSink
      * backend wakeup) and return its token. The token travels with
      * the simulated payload and is redeemed by edgeIn() where the
      * effect lands, linking spans on different tracks into one causal
-     * graph. Tokens are per-sink and monotonically increasing, reset
-     * by clear() — deterministic for a fixed workload.
+     * graph. A token is (per-lane sequence << laneTokenBits) | lane —
+     * nonzero, never reused across lanes without any cross-lane
+     * counter, reset by clear(). Token *values* depend on the lane
+     * partition; exporters renumber flows by first appearance in
+     * canonical merged order, which does not.
      * @return 0 when disabled (edgeIn ignores token 0).
      */
     std::uint64_t
@@ -302,9 +381,12 @@ class TraceSink
     {
         if (!_enabled) [[likely]]
             return 0;
-        const std::uint64_t token = ++edgeSeq;
-        push(TraceRecord{when, token, tap, track, TraceKind::EdgeOut,
-                         cat});
+        Seg &s = laneSeg();
+        const std::uint64_t token =
+            (++s.edgeSeq << laneTokenBits) |
+            static_cast<std::uint64_t>(&s - segs.data());
+        push(s, TraceRecord{when, token, tap, track, TraceKind::EdgeOut,
+                            cat});
         return token;
     }
 
@@ -323,16 +405,26 @@ class TraceSink
 
     /** @name Analysis */
     ///@{
-    /** i-th retained record in write order, i in [0, size()). */
+    /** i-th retained record, i in [0, size()): segment concatenation
+     *  order — segment 0 in write order, then segment 1, and so on.
+     *  With one segment (the classic serial shape) this is exactly
+     *  historical write order. */
     const TraceRecord &
     at(std::size_t i) const
     {
-        if (_total <= cap)
-            return ring[i];
-        return ring[(head + i) & (cap - 1)];
+        for (const Seg &s : segs) {
+            const std::size_t n = segSize(s);
+            if (i < n)
+                return s.ring[s.total <= cap
+                                  ? i
+                                  : (s.head + i) & (cap - 1)];
+            i -= n;
+        }
+        VIRTSIM_ASSERT(false, "TraceSink::at(): index out of range");
+        return segs[0].ring[0];
     }
 
-    /** Visit retained records in write order. */
+    /** Visit retained records in concatenation order (see at()). */
     template <typename Fn>
     void
     forEach(Fn &&fn) const
@@ -343,15 +435,40 @@ class TraceSink
     }
 
     /** Visit only records written at or after a total() watermark
-     *  taken earlier (records before it may have been dropped). */
+     *  taken earlier (records before it may have been dropped).
+     *  Single-segment sinks only — post-hoc incremental analysis of
+     *  classic worlds; lane-partitioned sinks stream through the
+     *  deferred observer instead. */
     template <typename Fn>
     void
     forEachSince(std::uint64_t mark, Fn &&fn) const
     {
-        const std::uint64_t first = _total - size();
+        VIRTSIM_ASSERT(segs.size() == 1,
+                       "forEachSince() needs a single-segment sink");
+        const Seg &s = segs[0];
+        const std::uint64_t first = s.total - segSize(s);
         const std::uint64_t from = mark > first ? mark : first;
-        for (std::uint64_t i = from; i < _total; ++i)
+        for (std::uint64_t i = from; i < s.total; ++i)
             fn(at(static_cast<std::size_t>(i - first)));
+    }
+
+    /**
+     * Visit every retained record, merged across segments in
+     * canonical order: ascending (when, EdgeOut-before-other-kinds,
+     * track, lane, per-lane write position). Under the stamping
+     * contract that records sharing a track are stamped by a single
+     * lane, ties inside one lane keep model order and cross-lane ties
+     * cannot share a track — the order is a pure function of the
+     * retained record multiset, so exports built from it are
+     * byte-identical at every lane count. Cold path: sorts an index
+     * of size() entries per call.
+     */
+    template <typename Fn>
+    void
+    forEachMerged(Fn &&fn) const
+    {
+        for (const MergeRef &m : mergeOrder())
+            fn(segs[m.seg].ring[m.slot]);
     }
 
     /** First tap stamp of the given flow, if retained. */
@@ -370,37 +487,86 @@ class TraceSink
     ///@}
 
   private:
-    void
-    push(const TraceRecord &r)
+    /** One lane's ring segment. While lanes run it is written only by
+     *  its lane's thread; segment 0 doubles as the setup-context
+     *  segment (lane -1 clamps to it). */
+    struct Seg
     {
-        if (_total >= cap) {
+        /** Ring storage, allocated uninitialized: slots beyond the
+         *  retained count are never read, and skipping the zero-fill
+         *  keeps per-run setup from faulting in pages the run never
+         *  touches. */
+        std::unique_ptr<TraceRecord[]> ring;
+        std::size_t head = 0;        ///< next write position
+        std::uint64_t total = 0;     ///< records ever written here
+        std::uint64_t truncated = 0; ///< span opens lost to overwrite
+        std::uint64_t edgeSeq = 0;   ///< last edge sequence issued
+        std::uint64_t obsMark = 0;   ///< total already flushed to obs
+    };
+
+    /** Sort key for the canonical merge; see forEachMerged(). */
+    struct MergeRef
+    {
+        Cycles when;
+        std::uint64_t pos;     ///< per-segment absolute write index
+        std::uint32_t seg;
+        std::uint32_t slot;    ///< ring slot holding the record
+        std::uint16_t track;
+        std::uint8_t kindPrio; ///< 0 for EdgeOut, 1 otherwise
+    };
+
+    static bool mergeLess(const MergeRef &a, const MergeRef &b);
+
+    /** Canonical visiting order over all retained records. */
+    std::vector<MergeRef> mergeOrder() const;
+
+    std::size_t
+    segSize(const Seg &s) const
+    {
+        return s.total < cap ? static_cast<std::size_t>(s.total) : cap;
+    }
+
+    /** The calling thread's segment: its execution lane, clamped to
+     *  segment 0 for setup-context stamping (lane -1) and for sinks
+     *  never partitioned by prepareForParallel(). */
+    Seg &
+    laneSeg()
+    {
+        const int l = currentExecLane();
+        const std::size_t i =
+            (l < 1 || static_cast<std::size_t>(l) >= segs.size())
+                ? 0
+                : static_cast<std::size_t>(l);
+        return segs[i];
+    }
+
+    void
+    push(Seg &s, const TraceRecord &r)
+    {
+        if (s.total >= cap) {
             // About to overwrite: losing a span's opening edge makes
             // post-hoc pairing unsound, so count it instead of
             // letting between()/analysis mispair silently.
-            const TraceRecord &old = ring[head];
+            const TraceRecord &old = s.ring[s.head];
             if (old.kind == TraceKind::Begin ||
                 (old.kind == TraceKind::Instant &&
                  old.cat == TraceCat::Tap)) {
-                ++_truncated;
+                ++s.truncated;
             }
         }
-        ring[head] = r;
-        head = (head + 1) & (cap - 1);
-        ++_total;
-        if (obs)
+        s.ring[s.head] = r;
+        s.head = (s.head + 1) & (cap - 1);
+        ++s.total;
+        if (obs && !obsDeferred)
             obs->onTraceRecord(r);
     }
 
-    /** Ring storage, allocated uninitialized: slots beyond size()
-     *  are never read, and skipping the zero-fill keeps per-run
-     *  setup from faulting in pages the run never touches. */
-    std::unique_ptr<TraceRecord[]> ring;
-    std::size_t cap = 0;     ///< ring capacity, power of two
-    std::size_t head = 0;    ///< next write position
-    std::uint64_t _total = 0; ///< records ever written
-    std::uint64_t _truncated = 0; ///< span opens lost to overwrite
-    std::uint64_t edgeSeq = 0;    ///< last edge token issued
+    void push(const TraceRecord &r) { push(laneSeg(), r); }
+
+    std::vector<Seg> segs = std::vector<Seg>(1);
+    std::size_t cap = 0; ///< per-segment capacity, power of two
     TraceObserver *obs = nullptr; ///< streaming consumer, not owned
+    bool obsDeferred = false;     ///< deliver at flushObserver() only
     bool _enabled = false;
 };
 
@@ -409,14 +575,20 @@ class TraceSink
  * loadable in ui.perfetto.dev / chrome://tracing. Each track becomes
  * a thread named "cpu<N>"; timestamps convert to microseconds at the
  * machine frequency. Dropped records are reported in the metadata.
- * When a timeline with stored samples is passed, its series are
- * merged in as counter tracks ("ph":"C") so gauges render on the
- * same Perfetto timeline as spans and flow arrows.
+ * Records are emitted in canonical merged order (forEachMerged) with
+ * flow ids renumbered by first appearance, so the bytes are identical
+ * at every lane count. When a timeline with stored samples is passed,
+ * its series are merged in as counter tracks ("ph":"C") so gauges
+ * render on the same Perfetto timeline as spans and flow arrows; a
+ * shard profile likewise merges in as per-lane wall-time counter
+ * tracks (host-time measurements — pass it only when its run-to-run
+ * variance is acceptable in the output).
  */
 void writeChromeTrace(std::ostream &os, const TraceSink &sink,
                       const Frequency &freq,
                       const std::string &process = "virtsim",
-                      const TimelineSampler *timeline = nullptr);
+                      const TimelineSampler *timeline = nullptr,
+                      const ShardProfile *profile = nullptr);
 
 /** writeChromeTrace to a file, warning on stderr when the sink lost
  *  records (dropped or truncated spans) so a lossy trace is visible
@@ -425,7 +597,8 @@ void writeChromeTrace(std::ostream &os, const TraceSink &sink,
 bool exportChromeTrace(const std::string &path, const TraceSink &sink,
                        const Frequency &freq,
                        const std::string &process = "virtsim",
-                       const TimelineSampler *timeline = nullptr);
+                       const TimelineSampler *timeline = nullptr,
+                       const ShardProfile *profile = nullptr);
 
 /** A copyable relaxed-atomic byte flag. Used for MetricsDomain's
  *  used-tap marks so concurrent shard lanes can register the same tap
@@ -681,6 +854,13 @@ class MetricsRegistry
  * (how far ahead work is scheduled — the shape of the event kernel's
  * workload). Installed into an EventQueue via setProfiler(); when not
  * installed the kernel pays one predictable branch per event.
+ *
+ * Under the sharded kernel, call prepareForParallel() and install the
+ * profiler into every lane: record() then lands in the calling
+ * thread's own lane-local histogram array (fixed-size — no growth, no
+ * sharing, no synchronization) and the read side merges lanes into
+ * one deterministic view (HistogramStat::merge is exact and
+ * order-independent).
  */
 class EventKernelProfiler
 {
@@ -689,22 +869,63 @@ class EventKernelProfiler
     record(TapId label, Cycles wait)
     {
         const std::size_t i = label.raw();
+        if (!laneHists.empty()) {
+            const int l = currentExecLane();
+            const std::size_t li =
+                (l < 1 || static_cast<std::size_t>(l) >= laneHists.size())
+                    ? 0
+                    : static_cast<std::size_t>(l);
+            std::vector<HistogramStat> &h = laneHists[li];
+            VIRTSIM_ASSERT(i < h.size(),
+                           "tap interned after "
+                           "EventKernelProfiler::prepareForParallel()");
+            h[i].add(wait);
+            return;
+        }
         if (i >= hists.size())
             hists.resize(i + 1);
         hists[i].add(wait);
     }
 
-    /** Histogram for a label, or null if never recorded. */
+    /**
+     * Partition into `lanes` histogram arrays pre-sized for every tap
+     * interned so far (see internedTapCount()), so concurrent lanes
+     * record without synchronization. Call from the setup thread
+     * after all event labels are interned; recording a later-interned
+     * label is a deterministic assert. reset() drops the partition.
+     */
+    void prepareForParallel(int lanes, std::size_t tapCount);
+
+    /**
+     * Histogram for a label, or null if never recorded. Lanes merged;
+     * the pointer aliases a scratch slot that the next histogram()
+     * call reuses, so copy (or finish reading) before asking for
+     * another label.
+     */
     const HistogramStat *histogram(TapId label) const;
 
-    void reset() { hists.clear(); }
+    void
+    reset()
+    {
+        hists.clear();
+        laneHists.clear();
+    }
 
     /** One line per label, sorted by name; the invalid label renders
-     *  as "(unlabeled)". */
+     *  as "(unlabeled)". Lanes merged. */
     std::string render() const;
 
   private:
-    std::vector<HistogramStat> hists; ///< indexed by raw tap id
+    /** Lanes-merged histogram for raw id i (count 0 if never hit). */
+    HistogramStat mergedAt(std::size_t i) const;
+
+    std::size_t labelLimit() const;
+
+    std::vector<HistogramStat> hists; ///< serial mode, by raw tap id
+    /** Parallel mode: [lane][raw tap id], fixed-size after
+     *  prepareForParallel(). Non-empty iff parallel mode is armed. */
+    std::vector<std::vector<HistogramStat>> laneHists;
+    mutable HistogramStat mergeScratch; ///< histogram() return slot
 };
 
 /**
@@ -736,6 +957,16 @@ struct Probe
      * byte-identically with or without this call.
      */
     void syncTraceHealth();
+
+    /**
+     * Intern the trace-health tap names now. A world that calls
+     * MetricsRegistry::prepareForParallel() must warm these first:
+     * syncTraceHealth() runs at export time, long after the domains
+     * froze their tap arrays, and a lossy trace would otherwise be
+     * the first (fatal) late intern. Interning adds no counter rows,
+     * so clean snapshots are unchanged.
+     */
+    void warmTraceHealth();
 };
 
 } // namespace virtsim

@@ -1,10 +1,12 @@
 #include "sim/shard.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <utility>
 
 #include "sim/env.hh"
+#include "sim/lane.hh"
 #include "sim/log.hh"
 #include "sim/probe.hh"
 #include "sim/sweep.hh"
@@ -14,21 +16,22 @@ namespace virtsim {
 
 namespace {
 
-/** Lane the current thread is executing events for; -1 outside lane
- *  execution. Set around every runBefore() phase (parallel workers
- *  and the serial round loop alike) so ShardChannel sends can infer
- *  their source lane without threading a context argument through
- *  every component. */
-thread_local int tl_current_lane = -1;
-
-/** RAII lane marker. */
-struct LaneScope
-{
-    explicit LaneScope(int lane) { tl_current_lane = lane; }
-    ~LaneScope() { tl_current_lane = -1; }
-};
+// The lane marker (currentExecLane / LaneScope, sim/lane.hh) is set
+// around every runBefore() phase — parallel workers and the serial
+// round loop alike — so ShardChannel sends can infer their source
+// lane, and lane-partitioned sinks their segment, without threading a
+// context argument through every component.
 
 constexpr Cycles noBound = std::numeric_limits<Cycles>::max();
+
+std::uint64_t
+elapsedNs(std::chrono::steady_clock::time_point from,
+          std::chrono::steady_clock::time_point to)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+            .count());
+}
 
 /** Saturating add for horizon arithmetic: an unbounded time plus a
  *  finite lookahead stays unbounded instead of wrapping. */
@@ -52,7 +55,7 @@ shardLanes()
 int
 ShardedEventKernel::currentLane()
 {
-    return tl_current_lane;
+    return currentExecLane();
 }
 
 ShardedEventKernel::ShardedEventKernel(int laneCount)
@@ -63,9 +66,11 @@ ShardedEventKernel::ShardedEventKernel(int laneCount)
         lanes_.push_back(std::make_unique<EventQueue>());
     const auto n = static_cast<std::size_t>(laneCount);
     minLook.assign(n * n, noBound);
+    lookChannel.assign(n * n, std::string());
     mail.resize(n * n);
     roundTarget.resize(n);
     roundFired.resize(n);
+    roundBusyNs.resize(n);
     st.lanes.resize(n);
 }
 
@@ -97,13 +102,20 @@ ShardedEventKernel::laneOf(ShardId shard) const
 }
 
 void
-ShardedEventKernel::addLookahead(int srcLane, int dstLane, Cycles look)
+ShardedEventKernel::addLookahead(int srcLane, int dstLane, Cycles look,
+                                 const std::string &channelName)
 {
     if (srcLane == dstLane)
         return;
-    Cycles &slot = minLook[static_cast<std::size_t>(srcLane) *
-                               lanes_.size() +
-                           static_cast<std::size_t>(dstLane)];
+    const std::size_t flat = static_cast<std::size_t>(srcLane) *
+                                 lanes_.size() +
+                             static_cast<std::size_t>(dstLane);
+    Cycles &slot = minLook[flat];
+    // Remember which channel owns the tightest bound on this edge:
+    // that is the name the shard profile reports when the edge limits
+    // a lane's horizon. First declaration wins ties.
+    if (look < slot || lookChannel[flat].empty())
+        lookChannel[flat] = channelName;
     slot = std::min(slot, look);
 }
 
@@ -117,12 +129,12 @@ ShardedEventKernel::channel(std::string name, ShardId src, ShardId dst,
         for (int l = 0; l < laneCount(); ++l) {
             if (l != dstLane) {
                 cross = true;
-                addLookahead(l, dstLane, lookahead);
+                addLookahead(l, dstLane, lookahead, name);
             }
         }
     } else if (laneOf(src) != dstLane) {
         cross = true;
-        addLookahead(laneOf(src), dstLane, lookahead);
+        addLookahead(laneOf(src), dstLane, lookahead, name);
     }
     VIRTSIM_ASSERT(!cross || lookahead > 0,
                    "channel '", name, "' crosses lanes with zero ",
@@ -166,7 +178,7 @@ ShardedEventKernel::channelSend(ShardChannel &ch, Cycles when,
                                 TapId label, EventFn fn)
 {
     const int dst = ch.dstLane();
-    const int cur = tl_current_lane;
+    const int cur = currentExecLane();
     if (cur < 0 || cur == dst) {
         // Setup/coordinator context (single-threaded) or a same-lane
         // send: exactly the serial kernel's scheduleAt. The declared
@@ -196,7 +208,11 @@ ShardedEventKernel::channelSend(ShardChannel &ch, Cycles when,
 Cycles
 ShardedEventKernel::run()
 {
-    if (laneCount() == 1) {
+    // An attached probe needs the round loop even at one lane, so
+    // barrier-driven timeline sampling and observer flushing behave
+    // identically at every VIRTSIM_SHARDS; likewise the shard
+    // profiler, which measures the round loop.
+    if (laneCount() == 1 && !probe_ && !profileEnabled_) {
         // Mark the lane even on the passthrough path so channel sends
         // from inside events check their lookahead contract in the
         // serial configuration too.
@@ -209,7 +225,7 @@ ShardedEventKernel::run()
 Cycles
 ShardedEventKernel::runUntil(Cycles limit)
 {
-    if (laneCount() == 1) {
+    if (laneCount() == 1 && !probe_ && !profileEnabled_) {
         LaneScope scope(0);
         return lane(0).runUntil(limit);
     }
@@ -229,10 +245,38 @@ ShardedEventKernel::step()
 Cycles
 ShardedEventKernel::runRounds(bool bounded, Cycles limit)
 {
+    using clock = std::chrono::steady_clock;
     const int n = laneCount();
-    const bool parallelAllowed = !serialFallback && !inSweepTask();
+    const bool parallelAllowed = !inSweepTask();
     std::vector<Cycles> nextEv(static_cast<std::size_t>(n));
     std::vector<Cycles> bound(static_cast<std::size_t>(n));
+
+    // Barrier-driven timeline sampling: the coordinator samples every
+    // gauge at period-aligned simulated instants between rounds, with
+    // every lane's horizon capped at the next sampling instant so no
+    // lane ever runs past an unsampled tick. A sample at instant a is
+    // taken after all events below a and before any event at or above
+    // a — a time-only rule, so the sampled instants and values are a
+    // pure function of the model, identical at every lane count.
+    TimelineSampler *const tl =
+        (probe_ && probe_->timeline.enabled()) ? &probe_->timeline
+                                               : nullptr;
+    const Cycles period = tl ? tl->period() : 0;
+    Cycles tickAt = 0;
+    if (tl) {
+        const Cycles t0 = now();
+        tickAt = (t0 % period == 0) ? t0
+                                    : ((t0 / period) + 1) * period;
+    }
+
+    const bool prof = profileEnabled_;
+    clock::time_point wallStart;
+    if (prof) {
+        wallStart = clock::now();
+        // Snapshot the channel names now: every channel relevant to
+        // this run is declared by the time it starts.
+        profile_.critChannel = lookChannel;
+    }
 
     for (;;) {
         ++st.rounds;
@@ -272,6 +316,18 @@ ShardedEventKernel::runRounds(bool bounded, Cycles limit)
             break; // drained, and the drain above emptied all mail
         if (bounded && minNext > limit)
             break;
+
+        // Sample every aligned instant the whole simulation has now
+        // passed. All events below tickAt have fired (horizons were
+        // capped there) and the earliest pending event is at or above
+        // it, so gauges read exactly the model state at that instant.
+        if (tl) {
+            while (tickAt <= minNext &&
+                   (!bounded || tickAt <= limit)) {
+                tl->sampleTick(tickAt);
+                tickAt += period;
+            }
+        }
 
         // The LBTS fixed point:
         //   N[i] = min(nextEv[i], min_j (N[j] + look[j][i]))
@@ -329,18 +385,30 @@ ShardedEventKernel::runRounds(bool bounded, Cycles limit)
             }
             if (bounded && (target == noBound || target > limit))
                 target = limit + 1;
+            // Never run past an unsampled timeline tick. The lane
+            // holding minNext keeps target > minNext either way
+            // (tickAt was advanced past minNext above), so progress
+            // survives the cap.
+            if (tl && tickAt < target)
+                target = tickAt;
             roundTarget[static_cast<std::size_t>(i)] = target;
         }
 
         // 3. Execute. The crew only earns its keep when two or more
         //    lanes have work this round.
         const bool parallel = parallelAllowed && activeLanes >= 2;
+        clock::time_point roundStart;
+        if (prof)
+            roundStart = clock::now();
         executePhase(parallel);
         if (parallel)
             ++st.parallelRounds;
+        const std::uint64_t roundNs =
+            prof ? elapsedNs(roundStart, clock::now()) : 0;
 
         // 4. Account. Stall = a lane that had a pending event inside
-        //    the bound but whose horizon blocked it entirely.
+        //    the bound (and below any timeline tick cap) but whose
+        //    horizon blocked it entirely.
         std::size_t firedTotal = 0;
         Cycles front = 0;
         for (int i = 0; i < n; ++i)
@@ -349,16 +417,55 @@ ShardedEventKernel::runRounds(bool bounded, Cycles limit)
             const auto ii = static_cast<std::size_t>(i);
             LaneStats &ls = st.lanes[ii];
             firedTotal += roundFired[ii];
+            if (prof) {
+                ShardProfile::Lane &pl = profile_.lanes[ii];
+                pl.busyNs += roundBusyNs[ii];
+                pl.events += roundFired[ii];
+            }
             if (roundFired[ii] > 0) {
                 ls.events += roundFired[ii];
                 ++ls.advances;
                 ls.maxHorizonLag = std::max(
                     ls.maxHorizonLag, front - lane(i).now());
             } else if (nextEv[ii] != noPendingEvent &&
-                       (!bounded || nextEv[ii] <= limit)) {
+                       (!bounded || nextEv[ii] <= limit) &&
+                       (!tl || nextEv[ii] < tickAt)) {
                 ++ls.stalls;
                 ls.maxHorizonLag = std::max(
                     ls.maxHorizonLag, front - lane(i).now());
+                if (prof) {
+                    ShardProfile::Lane &pl = profile_.lanes[ii];
+                    ++pl.stallRounds;
+                    pl.stallNs += roundNs > roundBusyNs[ii]
+                                      ? roundNs - roundBusyNs[ii]
+                                      : 0;
+                    // Critical-channel attribution: the in-edge whose
+                    // bound was the binding horizon limit. Ties go to
+                    // the lowest source lane, deterministically.
+                    Cycles best = noBound;
+                    int bestJ = -1;
+                    for (int j = 0; j < n; ++j) {
+                        if (j == i)
+                            continue;
+                        const Cycles look =
+                            minLook[static_cast<std::size_t>(j) *
+                                        lanes_.size() +
+                                    ii];
+                        if (look == noBound)
+                            continue;
+                        const Cycles c = satAdd(
+                            bound[static_cast<std::size_t>(j)], look);
+                        if (c < best) {
+                            best = c;
+                            bestJ = j;
+                        }
+                    }
+                    if (bestJ >= 0 && best == roundTarget[ii]) {
+                        ++profile_.critRounds
+                              [ii * static_cast<std::size_t>(n) +
+                               static_cast<std::size_t>(bestJ)];
+                    }
+                }
             }
         }
         // Positive cross-lane lookaheads guarantee the earliest lane
@@ -367,6 +474,23 @@ ShardedEventKernel::runRounds(bool bounded, Cycles limit)
         VIRTSIM_ASSERT(firedTotal > 0,
                        "sharded kernel made no progress in a round ",
                        "(undeclared cross-lane edge?)");
+
+        // Stream this round's trace records to the observer in
+        // canonical merged order. Single-threaded here between
+        // barriers; a no-op without a deferred observer.
+        if (probe_)
+            probe_->trace.flushObserver();
+    }
+
+    // Records stamped since the last completed round (or before a
+    // run that drained immediately) still need delivering.
+    if (probe_)
+        probe_->trace.flushObserver();
+
+    if (prof) {
+        profile_.wallNs += elapsedNs(wallStart, clock::now());
+        profile_.rounds = st.rounds;
+        profile_.parallelRounds = st.parallelRounds;
     }
 
     if (bounded) {
@@ -378,16 +502,38 @@ ShardedEventKernel::runRounds(bool bounded, Cycles limit)
 }
 
 void
+ShardedEventKernel::enableShardProfile()
+{
+    profileEnabled_ = true;
+    const std::size_t n = lanes_.size();
+    profile_ = ShardProfile{};
+    profile_.lanes.assign(n, ShardProfile::Lane{});
+    profile_.critRounds.assign(n * n, 0);
+    profile_.critChannel.assign(n * n, std::string());
+}
+
+void
+ShardedEventKernel::runLane(int i)
+{
+    const auto ii = static_cast<std::size_t>(i);
+    LaneScope scope(i);
+    if (profileEnabled_) {
+        const auto t0 = std::chrono::steady_clock::now();
+        roundFired[ii] = lane(i).runBefore(roundTarget[ii]);
+        roundBusyNs[ii] =
+            elapsedNs(t0, std::chrono::steady_clock::now());
+        return;
+    }
+    roundFired[ii] = lane(i).runBefore(roundTarget[ii]);
+}
+
+void
 ShardedEventKernel::executePhase(bool parallel)
 {
     const int n = laneCount();
     if (!parallel) {
-        for (int i = 0; i < n; ++i) {
-            LaneScope scope(i);
-            roundFired[static_cast<std::size_t>(i)] =
-                lane(i).runBefore(
-                    roundTarget[static_cast<std::size_t>(i)]);
-        }
+        for (int i = 0; i < n; ++i)
+            runLane(i);
         return;
     }
 
@@ -398,12 +544,9 @@ ShardedEventKernel::executePhase(bool parallel)
         ++crewGen;
     }
     crewStart.notify_all();
-    {
-        // Lane 0 runs on the calling thread while the crew covers
-        // lanes 1..n-1.
-        LaneScope scope(0);
-        roundFired[0] = lane(0).runBefore(roundTarget[0]);
-    }
+    // Lane 0 runs on the calling thread while the crew covers lanes
+    // 1..n-1.
+    runLane(0);
     std::unique_lock<std::mutex> lock(crewMutex);
     crewDone.wait(lock, [this] { return crewRunning == 0; });
 }
@@ -450,12 +593,7 @@ ShardedEventKernel::workerLoop(int laneIdx)
                 return;
             seenGen = crewGen;
         }
-        {
-            LaneScope scope(laneIdx);
-            roundFired[static_cast<std::size_t>(laneIdx)] =
-                lane(laneIdx).runBefore(
-                    roundTarget[static_cast<std::size_t>(laneIdx)]);
-        }
+        runLane(laneIdx);
         bool last = false;
         {
             std::lock_guard<std::mutex> lock(crewMutex);
@@ -486,6 +624,8 @@ ShardedEventKernel::reset()
     st.crossMsgs = 0;
     for (LaneStats &ls : st.lanes)
         ls = LaneStats{};
+    if (profileEnabled_)
+        enableShardProfile(); // re-zero the profile for the next run
 }
 
 Cycles

@@ -42,13 +42,21 @@
  * deterministic (time, seq) total order, and horizon computation
  * depends only on lane states — so the simulated behavior is
  * byte-identical whether lanes run on one thread or eight, and
- * whether the kernel has 1 lane or N. Observability output (traces,
- * timelines) additionally depends on global stamping order, so
- * harnesses force the serial path while a sink is enabled
- * (setSerialFallback), the same rule the testbed cache applies.
+ * whether the kernel has 1 lane or N. Observability rides along at
+ * full parallelism: sinks are lane-partitioned (TraceSink segments,
+ * EventKernelProfiler lane histograms — see sim/lane.hh) so stamping
+ * stays synchronization-free, exports merge the partitions in a
+ * canonical order that is a pure function of what was recorded, the
+ * streaming observer is flushed in that order at every barrier
+ * (TraceSink::flushObserver), and timeline gauges are sampled by the
+ * coordinator between rounds at period-aligned instants no lane has
+ * yet reached (attachProbe). Exported bytes are identical at every
+ * VIRTSIM_SHARDS; no serial fallback is needed or provided.
  *
  * VIRTSIM_SHARDS=1 (the default) constructs a single lane and run()
- * is a literal passthrough to EventQueue::run().
+ * is a literal passthrough to EventQueue::run() — unless a probe is
+ * attached, in which case even one lane takes the round path so
+ * barrier-driven sampling and observer flushing behave identically.
  */
 
 #ifndef VIRTSIM_SIM_SHARD_HH
@@ -64,12 +72,14 @@
 
 #include "sim/channel.hh"
 #include "sim/event_queue.hh"
+#include "sim/shard_profile.hh"
 #include "sim/types.hh"
 
 namespace virtsim {
 
 class MetricsRegistry;
 class TimelineSampler;
+struct Probe;
 
 /** Lane count a kernel built from the environment will use:
  *  VIRTSIM_SHARDS if set (validated positive integer), else 1. */
@@ -146,15 +156,31 @@ class ShardedEventKernel
     ///@}
 
     /**
-     * Force the serial (single-threaded, round-based) path even for
-     * multi-lane kernels. Execution and results are byte-identical
-     * either way; harnesses set this while a trace sink, timeline, or
-     * kernel profiler is active, because *stamping order* into those
-     * sinks is a global side channel the parallel path does not
-     * reproduce.
+     * Attach the observability bundle the kernel must service while
+     * running rounds (or nullptr to detach): the coordinator flushes
+     * the trace sink's deferred observer at every barrier and, when
+     * the probe's timeline is enabled, samples its gauges at
+     * period-aligned simulated instants between rounds — each sample
+     * taken after every event below the instant and before any event
+     * at or above it, at every lane count. Also routes single-lane
+     * run()s through the round loop so the same machinery engages.
+     * The harness remains responsible for lane-partitioning the
+     * sinks (prepareForParallel) and arming deferred observer mode.
      */
-    void setSerialFallback(bool on) { serialFallback = on; }
-    bool serialFallbackActive() const { return serialFallback; }
+    void attachProbe(Probe *p) { probe_ = p; }
+    Probe *attachedProbe() const { return probe_; }
+
+    /**
+     * Start recording the parallel-kernel profile: per-lane busy /
+     * barrier-wait / stall wall time and per-round critical-channel
+     * attribution (see sim/shard_profile.hh). Host-clock
+     * measurements — cheap (two steady_clock reads per lane phase),
+     * but nonzero, so opt-in; exports of the profile are excluded
+     * from byte-identity guarantees.
+     */
+    void enableShardProfile();
+
+    const ShardProfile &shardProfile() const { return profile_; }
 
     /** @name Shard health telemetry */
     ///@{
@@ -189,7 +215,9 @@ class ShardedEventKernel
     /**
      * Register per-lane gauges (queue depth, clock lag behind the
      * front lane) with a timeline sampler. Opt-in for the same reason
-     * as publishStats — and timelines force the serial path anyway.
+     * as publishStats: lane topology is a host-side execution detail
+     * that must not leak into exports meant to be byte-identical
+     * across VIRTSIM_SHARDS.
      */
     void registerGauges(TimelineSampler &tl);
     ///@}
@@ -230,8 +258,11 @@ class ShardedEventKernel
                     static_cast<std::size_t>(dstLane)];
     }
 
-    /** Record (or tighten) the lookahead edge srcLane -> dstLane. */
-    void addLookahead(int srcLane, int dstLane, Cycles look);
+    /** Record (or tighten) the lookahead edge srcLane -> dstLane,
+     *  remembering the channel that owns the tightest bound for
+     *  critical-channel attribution. */
+    void addLookahead(int srcLane, int dstLane, Cycles look,
+                      const std::string &channelName);
 
     /** The round loop shared by run() and runUntil(). */
     Cycles runRounds(bool bounded, Cycles limit);
@@ -239,6 +270,10 @@ class ShardedEventKernel
     /** Execute one round's lane phase (parallel or serial),
      *  filling roundFired. */
     void executePhase(bool parallel);
+
+    /** Run one lane up to its round target under its LaneScope,
+     *  recording fired count (and busy time when profiling). */
+    void runLane(int i);
 
     /** @name Worker crew (lanes 1..N-1; lane 0 runs on the caller) */
     ///@{
@@ -251,15 +286,23 @@ class ShardedEventKernel
     std::vector<std::unique_ptr<ShardChannel>> channels_;
     std::vector<int> shardLane;  ///< shard -> lane, assignShard()
     std::vector<Cycles> minLook; ///< lane x lane lookahead matrix
+    /** Channel owning the tightest lookahead per lane pair, for
+     *  critical-channel attribution in the shard profile. */
+    std::vector<std::string> lookChannel;
     std::vector<Mailbox> mail;   ///< lane x lane mailboxes
 
     /** Per-round scratch, owned by the coordinator; workers read
      *  their own targets slot and write their own fired slot. */
     std::vector<Cycles> roundTarget;
     std::vector<std::size_t> roundFired;
+    /** Per-round, per-lane busy wall time, written by each lane's
+     *  executor inside the round barrier (profiler only). */
+    std::vector<std::uint64_t> roundBusyNs;
 
     Stats st;
-    bool serialFallback = false;
+    Probe *probe_ = nullptr;
+    ShardProfile profile_;
+    bool profileEnabled_ = false;
 
     /** Crew synchronization: generation-counted round barrier. */
     std::mutex crewMutex;

@@ -169,6 +169,21 @@ class HistogramStat
         return static_cast<std::size_t>(std::bit_width(sample));
     }
 
+    /** Fold another histogram in. Exact and order-independent —
+     *  bucket-wise sums plus exact count/sum/min/max — so per-lane
+     *  profiler shards merge into the same view the serial run
+     *  records directly. */
+    void
+    merge(const HistogramStat &o)
+    {
+        for (std::size_t i = 0; i < buckets.size(); ++i)
+            buckets[i] += o.buckets[i];
+        _count += o._count;
+        _sum += o._sum;
+        _min = std::min(_min, o._min);
+        _max = std::max(_max, o._max);
+    }
+
     void reset();
 
     /** One-line summary: n/min/mean/max. */

@@ -220,12 +220,10 @@ TimelineSampler::evaluateRules(Cycles now)
 }
 
 void
-TimelineSampler::tick(EventQueue &eq)
+TimelineSampler::sampleTick(Cycles now)
 {
-    scheduled = false;
     if (!_enabled)
         return;
-    const Cycles now = eq.now();
     ++_ticks;
     for (Series &s : series) {
         const std::int64_t raw = s.fn();
@@ -239,6 +237,16 @@ TimelineSampler::tick(EventQueue &eq)
         store(s, now, value);
     }
     evaluateRules(now);
+}
+
+void
+TimelineSampler::tick(EventQueue &eq)
+{
+    scheduled = false;
+    if (!_enabled)
+        return;
+    const Cycles now = eq.now();
+    sampleTick(now);
     // step() retires the firing event before invoking it, so
     // pending() here counts only *other* live events: reschedule
     // while real work remains, and let run() drain otherwise.

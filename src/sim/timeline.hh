@@ -126,6 +126,19 @@ class TimelineSampler
         scheduleOn(eq);
     }
 
+    /**
+     * Take one sample of every gauge at simulated instant `now`, as
+     * the in-queue tick does but without touching an event queue.
+     * The sharded kernel drives this from its barrier rounds at
+     * period-aligned instants (all lanes quiescent and past every
+     * event below `now`), giving the same time-only semantics at
+     * every lane count: a sample at instant t reads state after all
+     * events with time < t and before any event at time >= t.
+     * No-op while disabled. Do not mix with the in-queue tick chain
+     * in one run.
+     */
+    void sampleTick(Cycles now);
+
     /** Samples stored for gauge `g` (after change deduplication). */
     std::uint32_t sampleCount(std::size_t g) const;
     const TimelineSample *samplesFor(std::size_t g) const;

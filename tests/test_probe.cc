@@ -12,7 +12,9 @@
 #include <cstdlib>
 #include <fstream>
 #include <new>
+#include <optional>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "core/microbench.hh"
@@ -409,7 +411,11 @@ TEST(TraceSink, EdgeRecordsCarryTokensAndExport)
     const std::uint64_t t1 = sink.edgeOut(100, tap, TraceCat::Irq, 0);
     const std::uint64_t t2 = sink.edgeOut(110, tap, TraceCat::Irq, 0);
     EXPECT_NE(t1, 0u);
-    EXPECT_EQ(t2, t1 + 1); // per-sink monotonic
+    // Tokens are (per-lane sequence << laneTokenBits) | lane; setup-
+    // context stamping lands in lane segment 0, so consecutive tokens
+    // step by one full lane stride.
+    EXPECT_EQ(t1, std::uint64_t{1} << TraceSink::laneTokenBits);
+    EXPECT_EQ(t2, t1 + (std::uint64_t{1} << TraceSink::laneTokenBits));
     sink.edgeIn(150, t1, tap, TraceCat::Irq, 1);
     sink.edgeIn(0, 0, tap, TraceCat::Irq, 1); // token 0: no-op
     EXPECT_EQ(sink.size(), 3u);
@@ -426,7 +432,8 @@ TEST(TraceSink, EdgeRecordsCarryTokensAndExport)
     // clear() restarts the token sequence with the rest of the state.
     sink.clear();
     sink.enable();
-    EXPECT_EQ(sink.edgeOut(10, tap, TraceCat::Irq, 0), 1u);
+    EXPECT_EQ(sink.edgeOut(10, tap, TraceCat::Irq, 0),
+              std::uint64_t{1} << TraceSink::laneTokenBits);
 }
 
 TEST(TraceSink, NestedSpansPairLikeAStack)
@@ -459,6 +466,198 @@ TEST(TraceSink, NestedSpansPairLikeAStack)
     EXPECT_EQ(pairs, 3);
     EXPECT_TRUE(stacks[0].empty());
     EXPECT_TRUE(stacks[1].empty());
+}
+
+// ---------------------------------------------------------------------
+// Lane-partitioned sinks (ISSUE 7 tentpole): per-lane ring segments,
+// the canonical export-time merge, the deferred observer, and exact
+// overflow accounting under multi-lane stamping.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/**
+ * Stamp one small multi-CPU "world" into a sink: a span and a tap per
+ * track, cross-track causal edges, and a same-timestamp collision
+ * between tracks. When `partitioned`, each track's records are
+ * stamped under that track's LaneScope — the sharded-kernel shape;
+ * otherwise everything lands in segment 0, the classic serial shape.
+ * Either way the logical record multiset is identical.
+ */
+void
+stampWorld(TraceSink &sink, bool partitioned)
+{
+    const TapId svc = internTap("merge.test.svc");
+    const TapId tapStamp = internTap("merge.test.tap");
+    const TapId edge = internTap("merge.test.edge");
+    std::uint64_t tok[3] = {0, 0, 0};
+    for (int cpu = 0; cpu < 3; ++cpu) {
+        std::optional<LaneScope> scope;
+        if (partitioned)
+            scope.emplace(cpu);
+        const auto track = static_cast<std::uint16_t>(cpu);
+        const Cycles base = 100 * (cpu + 1);
+        sink.span(base, base + 40, svc, TraceCat::Op, track);
+        sink.stamp(base + 10, 7, tapStamp, track);
+        // Same instant on every track: the canonical order must break
+        // the tie by track, not by which lane flushed first.
+        sink.instant(500, tapStamp, TraceCat::Sched, track);
+        tok[cpu] = sink.edgeOut(base + 20, edge, TraceCat::Irq,
+                                track);
+    }
+    for (int cpu = 0; cpu < 3; ++cpu) {
+        const int dst = (cpu + 1) % 3;
+        std::optional<LaneScope> scope;
+        if (partitioned)
+            scope.emplace(dst);
+        sink.edgeIn(600 + 10 * cpu, tok[cpu], edge, TraceCat::Irq,
+                    static_cast<std::uint16_t>(dst));
+    }
+}
+
+} // namespace
+
+TEST(TraceSink, CanonicalMergeIsPartitionInvariant)
+{
+    // The byte-identity bar at unit scale: the same logical records,
+    // stamped once through a single-segment sink and once spread over
+    // three lane segments, must export byte-identically — the merge
+    // order is a pure function of the record multiset, and flow ids
+    // are renumbered by first appearance so lane-encoded token values
+    // never leak into the bytes.
+    TraceSink serial;
+    serial.enable();
+    stampWorld(serial, false);
+
+    TraceSink sharded;
+    sharded.enable();
+    sharded.prepareForParallel(3);
+    stampWorld(sharded, true);
+
+    EXPECT_EQ(serial.laneCount(), 1);
+    EXPECT_EQ(sharded.laneCount(), 3);
+    EXPECT_EQ(serial.size(), sharded.size());
+
+    std::ostringstream a, b;
+    writeChromeTrace(a, serial, Frequency(2.4));
+    writeChromeTrace(b, sharded, Frequency(2.4));
+    ASSERT_FALSE(a.str().empty());
+    EXPECT_EQ(a.str(), b.str());
+    JsonChecker checker(a.str());
+    EXPECT_TRUE(checker.valid()) << a.str();
+}
+
+TEST(TraceSink, DeferredObserverDeliversCanonicalOrderPerFlush)
+{
+    struct Collector : TraceObserver
+    {
+        std::vector<TraceRecord> seen;
+        void
+        onTraceRecord(const TraceRecord &r) override
+        {
+            seen.push_back(r);
+        }
+    };
+    const TapId tap = internTap("merge.test.deferred");
+    TraceSink sink;
+    sink.enable();
+    sink.prepareForParallel(2);
+    Collector obs;
+    sink.setObserver(&obs);
+    sink.setObserverDeferred(true);
+
+    // Lane 1 stamps earlier simulated times than lane 0 stamped
+    // before it: nothing reaches the observer until the flush, and
+    // the flush delivers time-sorted, not arrival-sorted.
+    {
+        LaneScope lane(0);
+        sink.instant(300, tap, TraceCat::Sched, 0);
+    }
+    {
+        LaneScope lane(1);
+        sink.instant(100, tap, TraceCat::Sched, 1);
+    }
+    EXPECT_TRUE(obs.seen.empty());
+    sink.flushObserver();
+    ASSERT_EQ(obs.seen.size(), 2u);
+    EXPECT_EQ(obs.seen[0].when, 100u);
+    EXPECT_EQ(obs.seen[1].when, 300u);
+
+    // A second flush delivers only what arrived in between.
+    {
+        LaneScope lane(1);
+        sink.instant(400, tap, TraceCat::Sched, 1);
+    }
+    sink.flushObserver();
+    ASSERT_EQ(obs.seen.size(), 3u);
+    EXPECT_EQ(obs.seen[2].when, 400u);
+    sink.flushObserver(); // idempotent when nothing is pending
+    EXPECT_EQ(obs.seen.size(), 3u);
+}
+
+TEST(TraceSink, OverflowCountsExactUnderMultiLaneStamping)
+{
+    const TapId tap = internTap("merge.test.overflow");
+    TraceSink sink;
+    sink.setCapacity(8);
+    sink.prepareForParallel(2);
+    sink.enable();
+    for (int lane = 0; lane < 2; ++lane) {
+        LaneScope scope(lane);
+        for (int i = 0; i < 20; ++i) {
+            sink.stamp(static_cast<Cycles>(10 * i + lane), 1, tap,
+                       static_cast<std::uint16_t>(lane));
+        }
+    }
+    // 20 writes into an 8-slot segment on each lane: totals and
+    // losses must come out exact, not approximate — overflow is
+    // accounted per segment and summed.
+    EXPECT_EQ(sink.total(), 40u);
+    EXPECT_EQ(sink.size(), 16u);
+    EXPECT_EQ(sink.dropped(), 24u);
+    // Every overwritten record was a Tap instant, so each one also
+    // counts as a truncated span open.
+    EXPECT_EQ(sink.truncatedSpans(), 24u);
+}
+
+TEST(TraceSinkConcurrent, ParallelStampingNeverSynchronizes)
+{
+    // The zero-synchronization stamping contract, in the shape TSan
+    // hunts: four real threads stamping concurrently into one enabled
+    // sink, each under its own LaneScope. Every record must land, and
+    // the post-hoc accounting and canonical merge must agree.
+    constexpr int lanes = 4;
+    constexpr int perLane = 8192;
+    const TapId tap = internTap("merge.test.concurrent");
+    TraceSink sink;
+    sink.setCapacity(perLane);
+    sink.prepareForParallel(lanes);
+    sink.enable();
+
+    std::vector<std::thread> crew;
+    for (int lane = 0; lane < lanes; ++lane) {
+        crew.emplace_back([&sink, tap, lane] {
+            LaneScope scope(lane);
+            for (int i = 0; i < perLane; ++i) {
+                sink.stamp(static_cast<Cycles>(i * lanes + lane), 1,
+                           tap, static_cast<std::uint16_t>(lane));
+            }
+        });
+    }
+    for (std::thread &t : crew)
+        t.join();
+
+    EXPECT_EQ(sink.total(),
+              static_cast<std::uint64_t>(lanes) * perLane);
+    EXPECT_EQ(sink.dropped(), 0u);
+    Cycles last = 0;
+    std::size_t visited = 0;
+    sink.forEachMerged([&](const TraceRecord &r) {
+        EXPECT_GE(r.when, last);
+        last = r.when;
+        ++visited;
+    });
+    EXPECT_EQ(visited, sink.size());
 }
 
 TEST(ChromeTrace, ExportIsWellFormedJson)
@@ -638,6 +837,49 @@ TEST(EventKernelProfiler, RecordsDispatchLatencyPerLabel)
     const std::string rendered = prof.render();
     EXPECT_NE(rendered.find("probe.test.event"), std::string::npos);
     EXPECT_NE(rendered.find("(unlabeled)"), std::string::npos);
+}
+
+TEST(EventKernelProfiler, LaneHistogramsMergeDeterministically)
+{
+    // Parallel mode: each lane records into its own fixed-size
+    // histogram array; the read side must merge lanes exactly — same
+    // count/sum/min/max and the same rendering as a serial profiler
+    // fed the identical samples.
+    const TapId label = internTap("probe.test.lanemerge");
+    EventKernelProfiler serial;
+    EventKernelProfiler parallel;
+    parallel.prepareForParallel(4, internedTapCount());
+
+    const Cycles waits[] = {5, 80, 3, 1200, 64, 7, 80, 9};
+    for (int i = 0; i < 8; ++i) {
+        serial.record(label, waits[i]);
+        LaneScope scope(i % 4);
+        parallel.record(label, waits[i]);
+    }
+
+    const HistogramStat *h = parallel.histogram(label);
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count(), 8u);
+    EXPECT_EQ(h->min(), 3u);
+    EXPECT_EQ(h->max(), 1200u);
+    EXPECT_EQ(h->sum(), 5u + 80 + 3 + 1200 + 64 + 7 + 80 + 9);
+    EXPECT_EQ(parallel.render(), serial.render());
+}
+
+TEST(EventKernelProfilerDeath, LateLabelAfterPrepareDies)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    EXPECT_DEATH(
+        {
+            EventKernelProfiler prof;
+            prof.prepareForParallel(2, internedTapCount());
+            // Interning after the partition froze the arrays must be
+            // a deterministic failure, not an out-of-bounds store
+            // under a concurrent lane.
+            const TapId late = internTap("probe.test.late.label");
+            prof.record(late, 10);
+        },
+        "interned after");
 }
 
 TEST(Probe, TraceEnvExportsLoadableJson)

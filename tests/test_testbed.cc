@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "core/microbench.hh"
@@ -210,6 +212,15 @@ class ScopedEnv
     bool had = false;
 };
 
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
 } // namespace
 
 TEST(TestbedReset, VirtualizedResetMatchesFreshConstruction)
@@ -307,22 +318,73 @@ TEST(TestbedCache, EnvKnobsDisableCaching)
         ScopedEnv e("VIRTSIM_POOL_CACHE", "0");
         EXPECT_FALSE(testbedCacheEnabled());
     }
-    // Observability exports happen in ~Testbed; cached worlds inside
-    // persistent sweep workers would not be destroyed until process
-    // exit, so any observability env forces cold builds.
+    // Observability no longer bypasses the cache: exports flush at
+    // lease release and reset() restores every sink, so cached runs
+    // export byte-identically to cold builds (see
+    // ObservabilityExportsMatchColdBuilds below).
     {
         ScopedEnv e("VIRTSIM_TRACE", "/tmp/trace.json");
-        EXPECT_FALSE(testbedCacheEnabled());
+        EXPECT_TRUE(testbedCacheEnabled());
     }
     {
         ScopedEnv e("VIRTSIM_METRICS", "/tmp/metrics.json");
-        EXPECT_FALSE(testbedCacheEnabled());
+        EXPECT_TRUE(testbedCacheEnabled());
     }
     {
         ScopedEnv e("VIRTSIM_FLAME", "/tmp/flame.folded");
-        EXPECT_FALSE(testbedCacheEnabled());
+        EXPECT_TRUE(testbedCacheEnabled());
     }
     EXPECT_TRUE(testbedCacheEnabled());
+}
+
+TEST(TestbedCache, ObservabilityExportsMatchColdBuilds)
+{
+    // The cache no longer auto-bypasses when a sink is armed; the
+    // lease flushes exports on release and reset() re-arms them, so a
+    // cached world must produce the same export bytes as a cold one.
+    ScopedEnv m("VIRTSIM_METRICS", "/tmp/tb_obs_metrics.json");
+    ScopedEnv t("VIRTSIM_TIMELINE", "/tmp/tb_obs_timeline.json");
+
+    // Unique seed: an earlier test's cached world for this config
+    // would have been built without the sinks armed.
+    const TestbedConfig tc{.kind = SutKind::KvmArm, .seed = 79001};
+    NetperfRrConfig nc;
+    nc.transactions = 25;
+
+    struct Exports
+    {
+        std::string metrics, timeline;
+        bool operator==(const Exports &o) const
+        {
+            return metrics == o.metrics && timeline == o.timeline;
+        }
+    };
+    auto runOnce = [&] {
+        {
+            TestbedLease l = acquireTestbed(tc);
+            (void)runNetperfRr(*l.get(), nc);
+        } // lease release flushes the exports
+        return Exports{slurp("/tmp/tb_obs_metrics.kvm_arm.json"),
+                       slurp("/tmp/tb_obs_timeline.kvm_arm.json")};
+    };
+
+    Exports cold;
+    {
+        ScopedEnv off("VIRTSIM_POOL_CACHE", "0");
+        cold = runOnce();
+    }
+    ASSERT_FALSE(cold.metrics.empty());
+    ASSERT_FALSE(cold.timeline.empty());
+
+    const TestbedCacheStats before = testbedCacheStats();
+    const Exports cachedMiss = runOnce(); // builds the cache entry
+    const Exports cachedHit = runOnce();  // reset() + rerun
+    const TestbedCacheStats after = testbedCacheStats();
+    EXPECT_EQ(after.misses, before.misses + 1);
+    EXPECT_EQ(after.hits, before.hits + 1);
+
+    EXPECT_TRUE(cachedMiss == cold) << "cache-miss export differs";
+    EXPECT_TRUE(cachedHit == cold) << "cache-hit export differs";
 }
 
 TEST(TestbedCache, BypassedLeaseOwnsItsWorld)
