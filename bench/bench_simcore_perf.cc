@@ -19,6 +19,7 @@
 #include "core/testbed.hh"
 #include "hv/world_switch.hh"
 #include "sim/event_queue.hh"
+#include "sim/latency.hh"
 #include "sim/probe.hh"
 #include "sim/sweep.hh"
 #include "sim/timeline.hh"
@@ -281,6 +282,51 @@ BM_DeadTimelineTick(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_DeadTimelineTick);
+
+/** The dead-latency fast path: record() against a disabled tracker is
+ *  the per-phase cost every un-tracked run pays — it must stay one
+ *  predicted branch per call (the tests assert the allocation-free
+ *  part). */
+void
+BM_DeadLatencyStamp(benchmark::State &state)
+{
+    RequestTracker tracker;
+    tracker.configure(4); // sized but never enabled
+    Cycles t = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 1000; ++i) {
+            t += 7;
+            tracker.record(i & 3, LatencyPhase::Rtt, t);
+            tracker.record(i & 3, LatencyPhase::Service, t >> 1);
+        }
+        benchmark::DoNotOptimize(tracker);
+        benchmark::DoNotOptimize(t);
+    }
+    // Two stamping calls per inner loop turn.
+    state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_DeadLatencyStamp);
+
+/** The live stamp path: lane-local bucket increments on pre-sized
+ *  arrays — the per-transaction observability cost a latency-tracked
+ *  fleet pays, times five phases. */
+void
+BM_LatencyHistogramAdd(benchmark::State &state)
+{
+    RequestTracker tracker;
+    tracker.configure(4);
+    tracker.enable();
+    Cycles t = 1;
+    for (auto _ : state) {
+        for (int i = 0; i < 1000; ++i) {
+            t = t * 2862933555777941757ULL + 3037000493ULL;
+            tracker.record(i & 3, LatencyPhase::Rtt, t >> 24);
+        }
+        benchmark::DoNotOptimize(tracker);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_LatencyHistogramAdd);
 
 /** Cancel-heavy phases (timer retargets, teardown bursts) leave dead
  *  entries in the heap; past the half-dead threshold cancel()

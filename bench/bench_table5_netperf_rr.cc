@@ -59,6 +59,7 @@ main()
     std::vector<BlameReport> blames;
     std::vector<std::string> timelines;
     std::uint64_t anomalies = 0;
+    std::uint64_t sloBreaches = 0;
     for (const auto &[kind, paper] : cols) {
         (void)paper;
         TestbedConfig tc;
@@ -83,6 +84,11 @@ main()
                      "virtio.rx.avail", "vhost.rx_backlog",
                      "xenring.rx.requests", "event_queue.depth"}));
         }
+        // When VIRTSIM_LATENCY armed request tracking, gate on the
+        // SLO engine too: every paper configuration must meet the
+        // round-trip objective (default or VIRTSIM_SLO_P99_US).
+        if (tb->latency().enabled())
+            sloBreaches += tb->sloBreaches();
     }
 
     TextTable table({"", "Native", "KVM", "Xen"});
@@ -155,6 +161,10 @@ main()
         std::cout << "WATCHDOG: " << anomalies
                   << " anomalies recorded across configurations\n";
     }
+    if (sloBreaches > 0) {
+        std::cout << "SLO: " << sloBreaches
+                  << " objectives breached across configurations\n";
+    }
 
     // The paper's qualitative conclusions from this table.
     const auto &nat = results[0];
@@ -194,7 +204,8 @@ main()
 
     return (both_high_overhead && xen_worse && kvm_send_recv_native &&
             xen_send_recv_slower && vm_internal_similar &&
-            xen_delivery_slower && anomalies == 0)
+            xen_delivery_slower && anomalies == 0 &&
+            sloBreaches == 0)
                ? 0
                : 1;
 }

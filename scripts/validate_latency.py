@@ -1,0 +1,307 @@
+#!/usr/bin/env python3
+"""Validate exported VIRTSIM_LATENCY JSON files.
+
+Usage: scripts/validate_latency.py [--require-pass] FILE [FILE...]
+
+Checks each file against the "virtsim-latency-1" schema and
+recomputes every derived number from the sparse bucket arrays the
+exporter embeds for exactly this purpose:
+
+  - quantiles (p50/p90/p99/p999) must be monotone and must equal a
+    nearest-rank recomputation over the log-linear bucket scheme,
+  - per-histogram counts must equal the bucket mass, and the exact
+    sum must lie within the bucket bounds,
+  - per-CPU phase counts must fold to the aggregate,
+  - phase decomposition sanity: mean server_queue + mean service
+    must not exceed mean RTT,
+  - SLO verdicts must be consistent: requests/violations match the
+    judged phase's histogram, the violation fraction is
+    violations/requests, and the pass flag matches the quantile and
+    fraction tests it claims to encode.
+
+With --require-pass the validator additionally fails when any SLO
+verdict has pass=false (for nominal-workload artifacts; overload
+artifacts are *supposed* to breach).
+
+Exit status: 0 when every file validates, 1 otherwise.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+REQUIRED_TOP = [
+    "schema", "world", "frequency_ghz", "sub_bucket_bits",
+    "requests", "phases", "aggregate", "per_cpu", "slo",
+]
+PHASES = ["rtt", "client_think", "wire_flight", "server_queue",
+          "service"]
+REQUIRED_HIST_NONEMPTY = [
+    "count", "min_cycles", "max_cycles", "sum_cycles", "mean_us",
+    "p50_cycles", "p90_cycles", "p99_cycles", "p999_cycles",
+    "buckets",
+]
+REQUIRED_SLO = [
+    "name", "phase", "quantile", "threshold_cycles",
+    "max_violation_fraction", "requests", "violations",
+    "violation_fraction", "observed_quantile_cycles", "windows",
+    "burnt_windows", "pass",
+]
+
+U64_MAX = (1 << 64) - 1
+
+
+class Buckets:
+    """The exporter's log-linear scheme (sim/latency.hh), recomputed
+    independently: values below 2^(m+1) are exact; above, each octave
+    splits into 2^m sub-buckets."""
+
+    def __init__(self, sub_bucket_bits):
+        self.m = sub_bucket_bits
+        self.subs = 1 << sub_bucket_bits
+        self.exact_limit = 2 * self.subs
+
+    def low(self, i):
+        if i < self.exact_limit:
+            return i
+        s = (i >> self.m) - 1
+        sub = i & (self.subs - 1)
+        return (self.subs + sub) << s
+
+    def high(self, i):
+        if i < self.exact_limit:
+            return i
+        s = (i >> self.m) - 1
+        sub = i & (self.subs - 1)
+        if s >= 56 and sub == self.subs - 1:
+            return U64_MAX
+        return ((self.subs + sub + 1) << s) - 1
+
+    def quantile(self, buckets, q, lo, hi):
+        """Nearest-rank quantile over a sparse [[index, n], ...]
+        array, clamped into the exact observed range — mirrors
+        LatencyHistogram::quantile."""
+        total = sum(n for _, n in buckets)
+        if total == 0:
+            return 0
+        if q <= 0.0:
+            return lo
+        if q >= 1.0:
+            return hi
+        rank = min(max(int(math.ceil(q * total)), 1), total)
+        cum = 0
+        for i, n in buckets:
+            cum += n
+            if cum >= rank:
+                return min(max(self.high(i), lo), hi)
+        return hi
+
+    def count_above(self, buckets, threshold):
+        """Strictly-above mass at bucket resolution: every bucket
+        whose index exceeds the threshold's bucket — mirrors
+        LatencyHistogram::countAbove."""
+        ti = self.bucket_of(threshold)
+        return sum(n for i, n in buckets if i > ti)
+
+    def bucket_of(self, v):
+        if v < self.exact_limit:
+            return v
+        s = v.bit_length() - (self.m + 1)
+        return ((s + 1) << self.m) + ((v >> s) - self.subs)
+
+
+def check_hist(path, label, h, bk, errors):
+    """Validate one histogram object; returns its count."""
+    if "count" not in h or "buckets" not in h:
+        errors.append(f"{path}: {label}: missing count/buckets")
+        return 0
+    count = h["count"]
+    mass = sum(n for _, n in h["buckets"])
+    if mass != count:
+        errors.append(
+            f"{path}: {label}: bucket mass {mass} != count {count}")
+    if count == 0:
+        return 0
+    for key in REQUIRED_HIST_NONEMPTY:
+        if key not in h:
+            errors.append(f"{path}: {label}: missing '{key}'")
+            return count
+    lo, hi = h["min_cycles"], h["max_cycles"]
+    if lo > hi:
+        errors.append(f"{path}: {label}: min {lo} > max {hi}")
+    qs = [h["p50_cycles"], h["p90_cycles"], h["p99_cycles"],
+          h["p999_cycles"]]
+    if qs != sorted(qs):
+        errors.append(f"{path}: {label}: quantiles not monotone {qs}")
+    if not (lo <= qs[0] and qs[-1] <= hi):
+        errors.append(
+            f"{path}: {label}: quantiles escape [min, max]")
+    for q, key in ((0.50, "p50_cycles"), (0.90, "p90_cycles"),
+                   (0.99, "p99_cycles"), (0.999, "p999_cycles")):
+        want = bk.quantile(h["buckets"], q, lo, hi)
+        if h[key] != want:
+            errors.append(
+                f"{path}: {label}: {key}={h[key]} but bucket "
+                f"recomputation gives {want}")
+    # The exact sum must be consistent with the bucket bounds.
+    lo_sum = sum(bk.low(i) * n for i, n in h["buckets"])
+    hi_sum = sum(min(bk.high(i), hi) * n for i, n in h["buckets"])
+    if not (lo_sum <= h["sum_cycles"] <= hi_sum):
+        errors.append(
+            f"{path}: {label}: sum {h['sum_cycles']} outside bucket "
+            f"bounds [{lo_sum}, {hi_sum}]")
+    for i, n in h["buckets"]:
+        if n <= 0:
+            errors.append(
+                f"{path}: {label}: non-positive bucket [{i},{n}]")
+    return count
+
+
+def mean_cycles(h):
+    return h["sum_cycles"] / h["count"] if h.get("count") else 0.0
+
+
+def validate(path, require_pass):
+    errors = []
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: unreadable or invalid JSON: {e}"]
+
+    for key in REQUIRED_TOP:
+        if key not in doc:
+            errors.append(f"{path}: missing top-level key '{key}'")
+    if errors:
+        return errors
+
+    if doc["schema"] != "virtsim-latency-1":
+        errors.append(f"{path}: unknown schema '{doc['schema']}'")
+    if doc["phases"] != PHASES:
+        errors.append(f"{path}: unexpected phase set {doc['phases']}")
+
+    bk = Buckets(doc["sub_bucket_bits"])
+    agg = doc["aggregate"]
+    agg_counts = {}
+    for ph in PHASES:
+        if ph not in agg:
+            errors.append(f"{path}: aggregate missing phase '{ph}'")
+            continue
+        agg_counts[ph] = check_hist(
+            path, f"aggregate.{ph}", agg[ph], bk, errors)
+
+    if doc["requests"] != agg_counts.get("rtt", -1):
+        errors.append(
+            f"{path}: requests={doc['requests']} != aggregate rtt "
+            f"count {agg_counts.get('rtt')}")
+
+    # Per-CPU folds back to the aggregate, phase by phase.
+    per_cpu_counts = {ph: 0 for ph in PHASES}
+    for entry in doc["per_cpu"]:
+        cpu = entry.get("cpu", "?")
+        for ph in PHASES:
+            if ph not in entry:
+                errors.append(
+                    f"{path}: cpu {cpu} missing phase '{ph}'")
+                continue
+            per_cpu_counts[ph] += check_hist(
+                path, f"cpu{cpu}.{ph}", entry[ph], bk, errors)
+    for ph in PHASES:
+        if ph in agg_counts and per_cpu_counts[ph] != agg_counts[ph]:
+            errors.append(
+                f"{path}: per-cpu {ph} mass {per_cpu_counts[ph]} != "
+                f"aggregate {agg_counts[ph]}")
+
+    # Decomposition sanity: the queue-wait and service legs are
+    # inside every round trip, so their means cannot exceed it.
+    if agg_counts.get("rtt"):
+        rtt_mean = mean_cycles(agg["rtt"])
+        inner = mean_cycles(agg["server_queue"]) + \
+            mean_cycles(agg["service"])
+        if inner > rtt_mean * (1.0 + 1e-9):
+            errors.append(
+                f"{path}: mean server_queue + service ({inner:.1f}) "
+                f"exceeds mean rtt ({rtt_mean:.1f})")
+
+    # SLO verdicts re-derive from the judged phase's histogram.
+    for v in doc["slo"]:
+        for key in REQUIRED_SLO:
+            if key not in v:
+                errors.append(f"{path}: slo verdict missing '{key}'")
+                break
+        else:
+            name, ph = v["name"], v["phase"]
+            label = f"slo '{name}'"
+            if ph not in PHASES:
+                errors.append(f"{path}: {label}: bad phase '{ph}'")
+                continue
+            h = agg[ph]
+            if v["requests"] != h["count"]:
+                errors.append(
+                    f"{path}: {label}: requests {v['requests']} != "
+                    f"{ph} count {h['count']}")
+            above = bk.count_above(h["buckets"],
+                                   v["threshold_cycles"])
+            if v["violations"] != above:
+                errors.append(
+                    f"{path}: {label}: violations {v['violations']} "
+                    f"!= bucket recomputation {above}")
+            frac = (v["violations"] / v["requests"]
+                    if v["requests"] else 0.0)
+            if abs(v["violation_fraction"] - frac) > 1e-4:
+                errors.append(
+                    f"{path}: {label}: violation_fraction "
+                    f"{v['violation_fraction']} != {frac:.6f}")
+            if h["count"]:
+                want_q = bk.quantile(h["buckets"], v["quantile"],
+                                     h["min_cycles"],
+                                     h["max_cycles"])
+                if v["observed_quantile_cycles"] != want_q:
+                    errors.append(
+                        f"{path}: {label}: observed quantile "
+                        f"{v['observed_quantile_cycles']} != "
+                        f"recomputation {want_q}")
+            quantile_ok = (v["observed_quantile_cycles"] <=
+                           v["threshold_cycles"])
+            fraction_ok = (v["violations"] <=
+                           v["max_violation_fraction"] *
+                           v["requests"])
+            want_pass = quantile_ok and fraction_ok
+            if v["pass"] != want_pass:
+                errors.append(
+                    f"{path}: {label}: pass={v['pass']} but "
+                    f"quantile_ok={quantile_ok} "
+                    f"fraction_ok={fraction_ok}")
+            if v["burnt_windows"] > v["windows"]:
+                errors.append(
+                    f"{path}: {label}: burnt_windows > windows")
+            if require_pass and not v["pass"]:
+                errors.append(
+                    f"{path}: {label}: SLO breached "
+                    f"(--require-pass)")
+    return errors
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Validate virtsim-latency-1 JSON exports")
+    ap.add_argument("files", nargs="+")
+    ap.add_argument("--require-pass", action="store_true",
+                    help="fail when any SLO verdict has pass=false")
+    args = ap.parse_args()
+
+    failed = False
+    for path in args.files:
+        errors = validate(path, args.require_pass)
+        if errors:
+            failed = True
+            for e in errors:
+                print(e, file=sys.stderr)
+        else:
+            print(f"{path}: OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,9 +12,12 @@
 #include "sim/attrib.hh"
 #include "sim/channel.hh"
 #include "sim/env.hh"
+#include "sim/latency.hh"
 #include "sim/log.hh"
+#include "sim/random.hh"
 #include "sim/shard.hh"
 #include "sim/shard_profile.hh"
+#include "sim/slo.hh"
 
 namespace virtsim {
 
@@ -41,12 +44,15 @@ envPath(const char *name)
 }
 
 /** One persistent TCP_RR connection. All fields except `cpu` are
- *  client-side state, touched only by lane-0 events. */
+ *  client-side state, touched only by lane-0 events. `remaining`
+ *  counts responses still owed in the closed loop, arrivals still to
+ *  depart in the open loop. Request departure times are threaded
+ *  through the event chain rather than stored here — open-loop
+ *  connections can have several requests in flight at once. */
 struct FleetConn
 {
     int cpu = 0;
     int remaining = 0;
-    Cycles sentAt = 0;
     Cycles rttSum = 0;
     Cycles lastDone = 0;
     std::uint64_t completed = 0;
@@ -73,8 +79,21 @@ struct FleetWorld
     std::string flamePath;
     std::string timelinePath;
     std::string shardProfilePath;
+    std::string latencyPath;
     double timelineHz = 100000.0;
     std::unique_ptr<CausalAnalyzer> attrib;
+    /** Request-latency tracking armed (cfg.latency or
+     *  VIRTSIM_LATENCY). */
+    bool latencyOn = false;
+    SloEngine slo;
+
+    /** Open-loop arrival state, touched only by lane-0 events (and
+     *  the setup thread): one RNG stream per connection plus the
+     *  global MMPP burst chain with its own stream. */
+    std::vector<Random> arrivalRng;
+    Random burstRng{1};
+    bool bursting = false;
+    std::uint64_t arrivalsLeft = 0;
 
     FleetWorld(const FleetConfig &c, int lanes)
         : cfg(c), kern(lanes), mc(MachineConfig::hpMoonshotM400())
@@ -85,6 +104,25 @@ struct FleetWorld
                        "empty fleet workload");
         mc.name = "fleet";
         mc.nCpus = cfg.nCpus;
+
+        // Overload injection from the environment: a burst factor
+        // switches the fleet to open-loop MMPP arrivals so CI can
+        // drive the same binary past its SLO without a code change.
+        if (const auto bf =
+                envPositiveReal("VIRTSIM_FLEET_BURST_FACTOR", 1e6)) {
+            cfg.openLoop = true;
+            cfg.burstRateFactor = *bf;
+        }
+        if (const auto us = envPositiveReal(
+                "VIRTSIM_FLEET_INTERARRIVAL_US", 1e9)) {
+            cfg.openLoop = true;
+            cfg.meanInterarrivalUs = *us;
+        }
+        VIRTSIM_ASSERT(cfg.meanInterarrivalUs > 0.0 &&
+                           cfg.burstRateFactor > 0.0 &&
+                           cfg.meanBurstUs > 0.0 &&
+                           cfg.meanCalmUs > 0.0,
+                       "open-loop arrival parameters must be positive");
 
         MachineShardPlan plan;
         plan.deviceLane = 0;
@@ -108,6 +146,12 @@ struct FleetWorld
                                         wire));
         }
 
+        // Latency/SLO configuration must precede the tap warm-up:
+        // SloEngine::warmTaps() interns the slo.*/watchdog.* taps the
+        // export path stamps, and prepareForParallel below freezes
+        // the tap-indexed metric arrays.
+        armLatency();
+
         // Warm the tap intern table and the stat-counter registry
         // from the setup thread (inject -> ack -> complete leaves the
         // LR array clean), then pre-size the metrics arrays: the
@@ -128,6 +172,71 @@ struct FleetWorld
                 static_cast<int>(k) / cfg.connsPerCpu;
             conns[k].remaining = cfg.transactionsPerConn;
         }
+
+        if (cfg.openLoop) {
+            // One independent stream per connection, derived from the
+            // single seed with a golden-ratio stride; the burst chain
+            // gets its own. Every draw happens in lane-0 events, so
+            // the draw order — and with it every arrival instant — is
+            // the serial lane-0 event order at any lane count.
+            arrivalRng.reserve(conns.size());
+            for (std::size_t k = 0; k < conns.size(); ++k) {
+                arrivalRng.emplace_back(
+                    cfg.arrivalSeed +
+                    0x9e3779b97f4a7c15ULL * (k + 1));
+            }
+            burstRng = Random(cfg.arrivalSeed ^
+                              0xc2b2ae3d27d4eb4fULL);
+            arrivalsLeft =
+                conns.size() *
+                static_cast<std::uint64_t>(cfg.transactionsPerConn);
+        }
+    }
+
+    /**
+     * Read the latency/SLO environment and configure the tracker and
+     * the SLO engine. Runs before the metrics freeze — see the call
+     * site. The default objective (when cfg.slos is empty) is the
+     * fleet contract: p99 RTT within fleetDefaultSloP99Us with at
+     * most 1% of requests above it, judged live over 2 ms burn
+     * windows. VIRTSIM_SLO_P99_US / VIRTSIM_SLO_MAX_VIOLATION
+     * override the threshold / tolerated fraction of every spec.
+     */
+    void
+    armLatency()
+    {
+        latencyPath = envPath("VIRTSIM_LATENCY");
+        latencyOn = cfg.latency || !latencyPath.empty();
+        if (!latencyOn)
+            return;
+        mach->probe().latency.configure(cfg.nCpus);
+
+        std::vector<SloSpec> specs = cfg.slos;
+        if (specs.empty()) {
+            SloSpec def;
+            def.name = "rtt_p99";
+            def.phase = LatencyPhase::Rtt;
+            def.quantile = 0.99;
+            def.thresholdCycles =
+                mach->freq().cycles(fleetDefaultSloP99Us);
+            def.maxViolationFraction = 0.01;
+            def.burnWindow = mach->freq().cycles(2000.0);
+            specs.push_back(def);
+        }
+        if (const auto us =
+                envPositiveReal("VIRTSIM_SLO_P99_US", 1e12)) {
+            for (SloSpec &s : specs)
+                s.thresholdCycles = mach->freq().cycles(*us);
+        }
+        if (const auto f =
+                envUnitFraction("VIRTSIM_SLO_MAX_VIOLATION")) {
+            for (SloSpec &s : specs)
+                s.maxViolationFraction = *f;
+        }
+        for (SloSpec &s : specs)
+            slo.addSpec(std::move(s));
+        slo.bind(&mach->probe().latency);
+        slo.warmTaps();
     }
 
     /**
@@ -169,16 +278,27 @@ struct FleetWorld
             probe.trace.setObserver(attrib.get());
             probe.trace.setObserverDeferred(true);
         }
+        if (latencyOn) {
+            probe.latency.enable();
+            probe.latency.prepareForParallel(lanes);
+        }
         // As in the testbed, sampling also arms under VIRTSIM_TRACE
         // alone so the Perfetto export carries counter tracks. The
         // kernel samples gauges between rounds (sampleTick) — the
-        // fleet never runs the in-queue tick chain.
-        if (!timelinePath.empty() || !tracePath.empty()) {
+        // fleet never runs the in-queue tick chain. Latency tracking
+        // also arms it: the SLO engine's burn windows and rolling
+        // quantile gauges live in the sampling tick.
+        if (!timelinePath.empty() || !tracePath.empty() ||
+            latencyOn) {
             const Cycles period = std::max<Cycles>(
                 1,
                 mach->freq().cyclesFromSeconds(1.0 / timelineHz));
             probe.timeline.enable(period);
         }
+        // After the machine's own gauges so registration order (the
+        // export order) is stable.
+        if (slo.armed())
+            slo.installTimeline(probe.timeline, mach->freq());
         if (cfg.trace || !tracePath.empty() || !metricsPath.empty() ||
             !flamePath.empty() || !timelinePath.empty()) {
             probe.profiler.prepareForParallel(lanes,
@@ -224,9 +344,28 @@ struct FleetWorld
                 os << tl.renderJson(mach->freq()) << "\n";
             }
         }
+        if (!latencyPath.empty()) {
+            const std::string path = perTagPath(latencyPath);
+            std::ofstream os(path);
+            if (!os) {
+                warn("cannot open latency file ", path);
+            } else {
+                os << renderLatencyJson(
+                          mach->probe().latency, mach->freq(),
+                          "fleet",
+                          slo.armed()
+                              ? slo.verdictsJson(mach->freq())
+                              : std::string())
+                   << "\n";
+            }
+            inform("\n", renderLatencySummary(mach->probe().latency,
+                                              mach->freq()));
+        }
         if (!metricsPath.empty()) {
             mach->probe().syncTraceHealth();
             tl.publishAnomalies(mach->metrics());
+            if (slo.armed())
+                slo.publish(mach->metrics());
             if (envPositiveCount("VIRTSIM_SHARD_STATS", 1))
                 kern.publishStats(mach->metrics());
             const std::string path = perTagPath(metricsPath);
@@ -245,9 +384,7 @@ struct FleetWorld
     void
     sendRequest(std::size_t connIdx, Cycles depart)
     {
-        FleetConn &c = conns[connIdx];
-        c.sentAt = depart;
-        const int cpu = c.cpu;
+        const int cpu = conns[connIdx].cpu;
         const Cycles at = depart + wire;
         req[static_cast<std::size_t>(cpu)]->send(
             at, [this, connIdx, cpu, at] {
@@ -258,7 +395,10 @@ struct FleetWorld
     /** The server side of one transaction, on the CPU's own lane:
      *  NIC interrupt, LR injection, guest ack, service body, virq
      *  completion — the paper's receive path — then the response
-     *  leaves as a separate tx-softirq event. */
+     *  leaves as a separate tx-softirq event. The departure time
+     *  (at - wire) rides the event chain so the client can account
+     *  the RTT even with several requests of one connection in
+     *  flight (open loop). */
     void
     serveRequest(std::size_t connIdx, int cpu, Cycles at)
     {
@@ -274,41 +414,121 @@ struct FleetWorld
         cost += gic->guestCompleteVirq(cpu, virq);
         const Cycles done = p.charge(t, cost);
 
-        mach->cpuQueue(cpu).scheduleAt(done, [this, connIdx, cpu,
-                                              done] {
-            rsp[static_cast<std::size_t>(cpu)]->send(
-                done + wire, [this, connIdx, tr = done + wire] {
-                    completeTransaction(connIdx, tr);
-                });
-        });
+        // Phase stamps on the server's own lane: the request's wire
+        // flight, the queue wait in front of this CPU and the service
+        // body. Together with the stamps in completeTransaction they
+        // record the exact identity
+        //   rtt = wire + server_queue + service + wire.
+        RequestTracker &lat = mach->probe().latency;
+        lat.record(cpu, LatencyPhase::WireFlight, wire);
+        lat.record(cpu, LatencyPhase::ServerQueue, t - at);
+        lat.record(cpu, LatencyPhase::Service, cost);
+
+        mach->cpuQueue(cpu).scheduleAt(
+            done, [this, connIdx, cpu, done, sentAt = at - wire] {
+                rsp[static_cast<std::size_t>(cpu)]->send(
+                    done + wire,
+                    [this, connIdx, tr = done + wire, sentAt] {
+                        completeTransaction(connIdx, tr, sentAt);
+                    });
+            });
     }
 
     /** Client receives the response (lane 0): account the RTT and,
-     *  while transactions remain, think then send the next one. */
+     *  in the closed loop with transactions remaining, think then
+     *  send the next one. Open-loop departures are driven by the
+     *  arrival chain instead. */
     void
-    completeTransaction(std::size_t connIdx, Cycles tr)
+    completeTransaction(std::size_t connIdx, Cycles tr, Cycles sentAt)
     {
         FleetConn &c = conns[connIdx];
-        c.rttSum += tr - c.sentAt;
+        c.rttSum += tr - sentAt;
         c.lastDone = tr;
         ++c.completed;
         ++transactions;
-        if (--c.remaining > 0)
+        RequestTracker &lat = mach->probe().latency;
+        lat.record(c.cpu, LatencyPhase::Rtt, tr - sentAt);
+        lat.record(c.cpu, LatencyPhase::WireFlight, wire);
+        if (!cfg.openLoop && --c.remaining > 0) {
+            lat.record(c.cpu, LatencyPhase::ClientThink,
+                       cfg.clientThink);
             sendRequest(connIdx, tr + cfg.clientThink);
+        }
+    }
+
+    /** Next open-loop inter-arrival gap for connection `k`, at the
+     *  rate the current MMPP state dictates. Lane 0 only. */
+    Cycles
+    drawInterarrival(std::size_t k)
+    {
+        const double mean = bursting
+                                ? cfg.meanInterarrivalUs /
+                                      cfg.burstRateFactor
+                                : cfg.meanInterarrivalUs;
+        return std::max<Cycles>(
+            1, mach->freq().cycles(arrivalRng[k].exponential(mean)));
+    }
+
+    /** Open-loop arrival for connection `k` at `when` (lane 0): the
+     *  request departs regardless of outstanding responses, and the
+     *  chain reschedules itself while arrivals remain. */
+    void
+    scheduleArrival(std::size_t k, Cycles when)
+    {
+        kern.lane(0).scheduleAt(when, [this, k, when] {
+            sendRequest(k, when);
+            --arrivalsLeft;
+            if (--conns[k].remaining > 0)
+                scheduleArrival(k, when + drawInterarrival(k));
+        });
+    }
+
+    /** MMPP state flip (lane 0): toggle burst/calm and reschedule
+     *  after an exponential sojourn — unless every arrival has
+     *  already departed, so the run can drain. */
+    void
+    scheduleBurstFlip(Cycles when)
+    {
+        kern.lane(0).scheduleAt(when, [this, when] {
+            bursting = !bursting;
+            if (arrivalsLeft == 0)
+                return;
+            const double mean =
+                bursting ? cfg.meanBurstUs : cfg.meanCalmUs;
+            const Cycles dt = std::max<Cycles>(
+                1, mach->freq().cycles(burstRng.exponential(mean)));
+            scheduleBurstFlip(when + dt);
+        });
     }
 
     FleetResult
     run()
     {
-        // Stagger the opening requests with a prime stride so the
-        // initial burst does not land on one cycle; steady state is
-        // governed by the modelled RTTs from then on.
-        for (std::size_t k = 0; k < conns.size(); ++k)
-            sendRequest(k, 1 + static_cast<Cycles>(k) * 97);
+        // Stagger the opening requests/arrivals with a prime stride
+        // so the initial burst does not land on one cycle; steady
+        // state is governed by the modelled RTTs (closed loop) or the
+        // arrival process (open loop) from then on.
+        if (cfg.openLoop) {
+            for (std::size_t k = 0; k < conns.size(); ++k)
+                scheduleArrival(k, 1 + static_cast<Cycles>(k) * 97);
+            if (cfg.burstRateFactor != 1.0) {
+                scheduleBurstFlip(
+                    1 + std::max<Cycles>(
+                            1, mach->freq().cycles(
+                                   burstRng.exponential(
+                                       cfg.meanCalmUs))));
+            }
+        } else {
+            for (std::size_t k = 0; k < conns.size(); ++k)
+                sendRequest(k, 1 + static_cast<Cycles>(k) * 97);
+        }
 
         FleetResult r;
         r.finalTime = kern.run();
         r.transactions = transactions;
+        if (slo.armed())
+            r.sloBreaches = slo.breaches();
+        r.anomalies = mach->probe().timeline.anomalyCount();
 
         std::uint64_t h = 1469598103934665603ULL;
         const auto mix = [&h](std::uint64_t v) {

@@ -37,7 +37,9 @@
 #define VIRTSIM_CORE_FLEET_HH
 
 #include <cstdint>
+#include <vector>
 
+#include "sim/slo.hh"
 #include "sim/types.hh"
 
 namespace virtsim {
@@ -61,7 +63,52 @@ struct FleetConfig
     /** Force trace recording on even without VIRTSIM_TRACE (no file
      *  export) — benches measuring traced-run overhead use this. */
     bool trace = false;
+
+    /**
+     * Open-loop arrivals: each connection's requests depart on a
+     * modelled arrival process regardless of outstanding responses
+     * (requests from one connection may overlap), instead of the
+     * default closed think-send-wait loop. transactionsPerConn then
+     * bounds the number of arrivals per connection. This is the
+     * overload-injection mode: an arrival rate beyond the service
+     * capacity grows the server queues without the closed loop's
+     * self-limiting, which is what pushes tail latency past an SLO.
+     */
+    bool openLoop = false;
+    /** Mean request inter-arrival time per connection, microseconds
+     *  (open loop only; exponential draws). */
+    double meanInterarrivalUs = 30.0;
+    /**
+     * MMPP burst modulation (open loop only): the fleet alternates
+     * between calm and burst states with exponential sojourn times;
+     * while bursting, every connection's arrival rate is multiplied
+     * by this factor. 1 disables modulation (plain Poisson arrivals).
+     */
+    double burstRateFactor = 1.0;
+    /** Mean burst-state sojourn, microseconds. */
+    double meanBurstUs = 400.0;
+    /** Mean calm-state sojourn, microseconds. */
+    double meanCalmUs = 1600.0;
+    /** Seed for the arrival and burst-state processes. */
+    std::uint64_t arrivalSeed = 0x1ee7;
+    /** Force request-latency tracking on even without VIRTSIM_LATENCY
+     *  (no file export) — tests and benches reading the tracker or
+     *  the SLO verdicts directly use this. */
+    bool latency = false;
+    /**
+     * Latency objectives judged over the run (sim/slo). Only active
+     * while latency tracking is armed. Empty = the default fleet SLO
+     * (p99 RTT within fleetDefaultSloP99Us, at most 1% of requests
+     * above it, judged over 2 ms burn windows).
+     */
+    std::vector<SloSpec> slos;
 };
+
+/** Default fleet SLO threshold on p99 RTT, microseconds. Roomy for
+ *  the default closed-loop fleet (whose steady-state RTT is governed
+ *  by connsPerCpu * service time), tight enough that open-loop
+ *  overload trips it. Override per spec or via VIRTSIM_SLO_P99_US. */
+inline constexpr double fleetDefaultSloP99Us = 200.0;
 
 /**
  * What a fleet run produced.
@@ -81,6 +128,15 @@ struct FleetResult
      *  completion) in fixed index order, then the final time. */
     std::uint64_t checksum = 0;
 
+    /** SLO objectives that failed end-of-run judgment (0 while
+     *  latency tracking is off). Modelled: derived from exact merged
+     *  histogram counts, so lane-count independent. */
+    std::uint64_t sloBreaches = 0;
+    /** Watchdog anomaly windows the timeline recorded (0 while the
+     *  timeline is off). Sampling instants are period-aligned
+     *  simulated times, so also lane-count independent. */
+    std::uint64_t anomalies = 0;
+
     std::uint64_t rounds = 0;         ///< host-side, lane-dependent
     std::uint64_t parallelRounds = 0; ///< host-side, lane-dependent
 
@@ -90,7 +146,9 @@ struct FleetResult
         return finalTime == o.finalTime &&
                transactions == o.transactions &&
                totalRttCycles == o.totalRttCycles &&
-               checksum == o.checksum;
+               checksum == o.checksum &&
+               sloBreaches == o.sloBreaches &&
+               anomalies == o.anomalies;
     }
 };
 

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "os/kernel.hh"
+#include "sim/latency.hh"
 #include "sim/log.hh"
 
 namespace virtsim {
@@ -109,20 +110,35 @@ runNetperfRr(Testbed &tb, NetperfRrConfig cfg)
         });
     };
 
+    // Request-latency tracker (armed by VIRTSIM_LATENCY through
+    // Testbed::applyObservability; a predicted branch otherwise).
+    // The client-side stamps live here: RTT from the departure
+    // bookkeeping below, think time when the next request is
+    // scheduled. Warmup transactions are excluded, matching the
+    // Table V window.
+    RequestTracker &lat = tb.machine().probe().latency;
+    const auto warmupU = static_cast<std::uint64_t>(cfg.warmup);
+    Cycles lastSend = 0; ///< client departure of the in-flight txn
+
     // The client: receives the echo, thinks, sends the next request.
-    auto send_request = [&tb, &current](Cycles t) {
+    auto send_request = [&tb, &current, &lastSend](Cycles t) {
         Packet req;
         req.flow = current;
         req.bytes = 1;
         req.born = t;
+        lastSend = t;
         tb.clientSend(t, req);
     };
 
     tb.onClientRx = [&](Cycles t, const Packet &) {
+        if (current >= warmupU && lastSend > 0)
+            lat.record(0, LatencyPhase::Rtt, t - lastSend);
         ++current;
         if (current >= static_cast<std::uint64_t>(total))
             return;
         const Cycles think = f.cycles(cfg.clientProcessUs);
+        if (current >= warmupU)
+            lat.record(0, LatencyPhase::ClientThink, think);
         tb.queue().scheduleAt(t + think, [&send_request, t, think] {
             send_request(t + think);
         });
@@ -163,9 +179,18 @@ runNetperfRr(Testbed &tb, NetperfRrConfig cfg)
     if (!was_enabled)
         sink.disable();
 
-    // Aggregate the measured window (skip warmup).
+    // Aggregate the measured window (skip warmup). Legs accumulate
+    // in cycle-valued LatencyHistograms rather than SampleStat: the
+    // sums (and so the Table V means) stay exact integers, memory
+    // stays bounded at any transaction count, and the same
+    // histograms answer tail-quantile queries.
     NetperfRrResult out;
-    SampleStat s2r, r2s, r2vr, vr2vs, vs2s;
+    LatencyHistogram s2r, r2s, r2vr, vr2vs, vs2s;
+    const auto meanUs = [&f](const LatencyHistogram &h) {
+        return h.empty() ? 0.0
+                         : f.us(h.sum()) /
+                               static_cast<double>(h.count());
+    };
     for (int i = cfg.warmup; i < total; ++i) {
         const auto &s = stamps[static_cast<std::size_t>(i)];
         VIRTSIM_ASSERT(s.serverTx > 0,
@@ -173,13 +198,18 @@ runNetperfRr(Testbed &tb, NetperfRrConfig cfg)
         VIRTSIM_ASSERT(s.serverTx >= s.vmSend &&
                        s.vmSend >= s.vmRx && s.vmRx >= s.hostRx,
                        "TCP_RR stamp ordering broken at txn ", i);
-        r2s.add(f.us(s.serverTx - s.hostRx));
-        r2vr.add(f.us(s.vmRx - s.hostRx));
-        vr2vs.add(f.us(s.vmSend - s.vmRx));
-        vs2s.add(f.us(s.serverTx - s.vmSend));
+        r2s.add(s.serverTx - s.hostRx);
+        r2vr.add(s.vmRx - s.hostRx);
+        vr2vs.add(s.vmSend - s.vmRx);
+        vs2s.add(s.serverTx - s.vmSend);
+        // Request-phase view of the same stamps: hypervisor delivery
+        // to the VM driver is the queueing leg, the VM-internal echo
+        // is the service leg.
+        lat.record(0, LatencyPhase::ServerQueue, s.vmRx - s.hostRx);
+        lat.record(0, LatencyPhase::Service, s.vmSend - s.vmRx);
         if (i > cfg.warmup) {
             const auto &prev = stamps[static_cast<std::size_t>(i - 1)];
-            s2r.add(f.us(s.hostRx - prev.serverTx));
+            s2r.add(s.hostRx - prev.serverTx);
         }
     }
     const auto &first = stamps[static_cast<std::size_t>(cfg.warmup)];
@@ -187,12 +217,12 @@ runNetperfRr(Testbed &tb, NetperfRrConfig cfg)
     const double span_us = f.us(last.serverTx - first.serverTx);
     out.timePerTransUs = span_us / (cfg.transactions - 1);
     out.transPerSec = 1e6 / out.timePerTransUs;
-    out.sendToRecvUs = s2r.mean();
-    out.recvToSendUs = r2s.mean();
+    out.sendToRecvUs = meanUs(s2r);
+    out.recvToSendUs = meanUs(r2s);
     if (tb.virtualized()) {
-        out.recvToVmRecvUs = r2vr.mean();
-        out.vmRecvToVmSendUs = vr2vs.mean();
-        out.vmSendToSendUs = vs2s.mean();
+        out.recvToVmRecvUs = meanUs(r2vr);
+        out.vmRecvToVmSendUs = meanUs(vr2vs);
+        out.vmSendToSendUs = meanUs(vs2s);
     }
     return out;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "sim/latency.hh"
 #include "sim/log.hh"
 #include "sim/shard_profile.hh"
 #include "sim/timeline.hh"
@@ -284,6 +285,42 @@ renderShardSummary(const ShardProfile &profile)
             << e.rounds << " rounds"
             << (name.empty() ? "" : " via \"" + name + "\"") << "\n";
     }
+    return oss.str();
+}
+
+std::string
+renderLatencySummary(const RequestTracker &latency,
+                     const Frequency &freq)
+{
+    constexpr LatencyPhase phases[] = {
+        LatencyPhase::Rtt, LatencyPhase::ClientThink,
+        LatencyPhase::WireFlight, LatencyPhase::ServerQueue,
+        LatencyPhase::Service};
+
+    TextTable t({"phase", "count", "mean us", "p50 us", "p90 us",
+                 "p99 us", "p999 us", "max us"});
+    for (LatencyPhase ph : phases) {
+        const LatencyHistogram h = latency.aggregate(ph);
+        if (h.empty())
+            continue;
+        t.addRow({to_string(ph), std::to_string(h.count()),
+                  formatFixed(freq.us(h.sum()) /
+                                  static_cast<double>(h.count()),
+                              2),
+                  formatFixed(freq.us(h.p50()), 2),
+                  formatFixed(freq.us(h.p90()), 2),
+                  formatFixed(freq.us(h.p99()), 2),
+                  formatFixed(freq.us(h.p999()), 2),
+                  formatFixed(freq.us(h.max()), 2)});
+    }
+    if (t.rows() == 0)
+        return "";
+
+    std::ostringstream oss;
+    oss << "Request latency (" << latency.cpus() << " cpus, "
+        << latency.totalCount(LatencyPhase::Rtt)
+        << " transactions):\n"
+        << t.render();
     return oss.str();
 }
 

@@ -14,6 +14,7 @@
 namespace virtsim {
 
 class Frequency;
+class RequestTracker;
 class TimelineSampler;
 struct ShardProfile;
 
@@ -77,6 +78,16 @@ std::string renderTimelineSummary(
  * diff byte-for-byte.
  */
 std::string renderShardSummary(const ShardProfile &profile);
+
+/**
+ * Multi-line summary of a request-latency tracker (sim/latency) for
+ * bench stdout: one row per recorded phase with count, mean and the
+ * tail quantiles in microseconds, from the lane-merged aggregate
+ * histograms — so the printed numbers match the virtsim-latency-1
+ * export byte for byte. Empty string when nothing was recorded.
+ */
+std::string renderLatencySummary(const RequestTracker &latency,
+                                 const Frequency &freq);
 
 } // namespace virtsim
 

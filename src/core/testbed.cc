@@ -19,6 +19,14 @@ namespace {
  *  with the NIC DMA and client processing of the netperf model. */
 constexpr double wireOneWayUs = 12.0;
 
+/** Default p99 round-trip SLO for testbed workloads, in
+ *  microseconds. Like the watchdog thresholds, it sits well above
+ *  every paper-configuration round trip (tens of microseconds,
+ *  Table V), so a breach flags a genuinely pathological run rather
+ *  than normal virtualization overhead. VIRTSIM_SLO_P99_US
+ *  overrides. */
+constexpr double testbedDefaultSloP99Us = 500.0;
+
 } // namespace
 
 std::string
@@ -155,6 +163,14 @@ Testbed::Testbed(TestbedConfig config)
         if (*p)
             shardProfilePath = p;
     }
+    // VIRTSIM_LATENCY=<file> arms per-request phase histograms and
+    // the SLO engine, and writes the virtsim-latency-1 JSON at
+    // teardown. VIRTSIM_SLO_P99_US / VIRTSIM_SLO_MAX_VIOLATION
+    // override the objective's threshold / tolerated fraction.
+    if (const char *p = std::getenv("VIRTSIM_LATENCY")) {
+        if (*p)
+            latencyPath = p;
+    }
     applyObservability();
 }
 
@@ -165,13 +181,56 @@ Testbed::applyObservability()
         server->trace().enable();
     if (!flamePath.empty())
         attribution();
+    const bool latencyOn = latencyWanted || !latencyPath.empty();
+    if (latencyOn) {
+        Probe &p = server->probe();
+        // Machine::reset() returns the tracker to the unconfigured
+        // state; re-arm it the way the other sinks re-arm here.
+        if (!p.latency.enabled()) {
+            p.latency.configure(server->numCpus());
+            p.latency.enable();
+        }
+        if (!slo.armed()) {
+            SloSpec def;
+            def.name = "rtt_p99";
+            def.phase = LatencyPhase::Rtt;
+            def.quantile = 0.99;
+            def.thresholdCycles =
+                server->freq().cycles(testbedDefaultSloP99Us);
+            def.maxViolationFraction = 0.01;
+            def.burnWindow = server->freq().cycles(2000.0);
+            if (const auto us =
+                    envPositiveReal("VIRTSIM_SLO_P99_US", 1e12))
+                def.thresholdCycles = server->freq().cycles(*us);
+            if (const auto f =
+                    envUnitFraction("VIRTSIM_SLO_MAX_VIOLATION"))
+                def.maxViolationFraction = *f;
+            slo.addSpec(std::move(def));
+            slo.bind(&p.latency);
+            // The testbed never freezes its metric domains
+            // (classic worlds stay serial), but keep the fleet's
+            // intern-before-use discipline anyway.
+            slo.warmTaps();
+        }
+    }
     // Sampling also arms under VIRTSIM_TRACE alone so the Perfetto
-    // export carries counter tracks next to its spans and flows.
-    if (timelineWanted || !timelinePath.empty() || !tracePath.empty()) {
+    // export carries counter tracks next to its spans and flows, and
+    // under latency tracking: SLO burn windows evaluate in the
+    // timeline sample hook.
+    if (timelineWanted || !timelinePath.empty() ||
+        !tracePath.empty() || latencyOn) {
         const Cycles period = std::max<Cycles>(
             1, server->freq().cyclesFromSeconds(1.0 / timelineHz));
-        server->probe().timeline.enable(period);
+        TimelineSampler &tl = server->probe().timeline;
+        tl.enable(period);
         installWatchdogRules();
+        // Gauges/rules/hook survive within a world; only (re)install
+        // on a freshly built or reset one (reset clears the sampler).
+        if (slo.armed() &&
+            tl.findGauge("slo." + slo.specs().front().name +
+                         ".q_us") < 0) {
+            slo.installTimeline(tl, server->freq());
+        }
     }
     if (!tracePath.empty() || !metricsPath.empty() ||
         !flamePath.empty() || !timelinePath.empty()) {
@@ -262,7 +321,7 @@ Testbed::exportObservability()
 {
     if (tracePath.empty() && metricsPath.empty() &&
         flamePath.empty() && timelinePath.empty() &&
-        shardProfilePath.empty()) {
+        shardProfilePath.empty() && latencyPath.empty()) {
         return;
     }
     // Once per run: a cached testbed exports when its lease is
@@ -308,12 +367,30 @@ Testbed::exportObservability()
             os << tl.renderJson(server->freq()) << "\n";
         }
     }
+    if (!latencyPath.empty()) {
+        const std::string path = perKindPath(latencyPath, cfg.kind);
+        std::ofstream os(path);
+        if (!os) {
+            warn("cannot open latency file ", path);
+        } else {
+            os << renderLatencyJson(
+                      server->probe().latency, server->freq(),
+                      to_string(cfg.kind),
+                      slo.armed() ? slo.verdictsJson(server->freq())
+                                  : std::string())
+               << "\n";
+        }
+        inform("\n", renderLatencySummary(server->probe().latency,
+                                          server->freq()));
+    }
     if (!metricsPath.empty()) {
         server->probe().syncTraceHealth();
         // Watchdog findings land in the snapshot too, so a metrics
         // dump carries the anomaly verdict even when nobody keeps
         // the timeline file.
         tl.publishAnomalies(server->metrics());
+        if (slo.armed())
+            slo.publish(server->metrics());
         // Shard health is lane-dependent by nature (round counts,
         // per-lane horizons), so it only enters the snapshot on
         // explicit request — the default export stays byte-identical
@@ -348,6 +425,9 @@ Testbed::beginRun()
 {
     server->stats().reset();
     server->probe().reset();
+    // Histogram counts went back to zero; the burn-window bases the
+    // live SLO state holds would be stale against them.
+    slo.reset();
     if (_attrib)
         _attrib->reset();
 }
@@ -388,6 +468,7 @@ Testbed::reset()
     else
         buildNative();
     observabilityExported = false; // the next run exports again
+    slo.reset();
     applyObservability();
 }
 

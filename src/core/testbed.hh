@@ -40,6 +40,7 @@
 #include "os/netstack.hh"
 #include "sim/attrib.hh"
 #include "sim/random.hh"
+#include "sim/slo.hh"
 
 namespace virtsim {
 
@@ -230,7 +231,8 @@ class Testbed
 
     /**
      * Write every export armed at construction (VIRTSIM_TRACE /
-     * METRICS / FLAME / TIMELINE / SHARD_PROFILE). Runs at most once
+     * METRICS / FLAME / TIMELINE / SHARD_PROFILE / LATENCY). Runs at
+     * most once
      * per run: the destructor calls it, and so does TestbedLease
      * release, so cached worlds parked in persistent pool workers
      * export without waiting for process teardown; reset() re-arms
@@ -252,6 +254,35 @@ class Testbed
         timelineWanted = true;
         timelineHz = hz;
         applyObservability();
+    }
+
+    /**
+     * Programmatically arm request-latency tracking and the SLO
+     * engine, as if VIRTSIM_LATENCY were set (no file export unless a
+     * path was configured too). Also arms timeline sampling — the SLO
+     * burn windows evaluate in the sample hook. Survives reset() like
+     * the env opt-ins; same cache caveat as enableTimeline().
+     */
+    void
+    enableLatency()
+    {
+        latencyWanted = true;
+        applyObservability();
+    }
+
+    /** The per-request phase histograms (sim/latency). Disabled until
+     *  VIRTSIM_LATENCY or enableLatency() arms tracking. */
+    RequestTracker &latency() { return server->probe().latency; }
+
+    /** The SLO engine judging this testbed's request latency; unarmed
+     *  (no specs) until latency tracking is enabled. */
+    SloEngine &sloEngine() { return slo; }
+
+    /** Failing end-of-run SLO verdicts so far; 0 when unarmed. */
+    std::uint64_t
+    sloBreaches() const
+    {
+        return slo.armed() ? slo.breaches() : 0;
     }
 
   private:
@@ -285,6 +316,11 @@ class Testbed
     std::string timelinePath; ///< VIRTSIM_TIMELINE destination, if set
     /** VIRTSIM_SHARD_PROFILE destination, if set. */
     std::string shardProfilePath;
+    std::string latencyPath; ///< VIRTSIM_LATENCY destination, if set
+    bool latencyWanted = false; ///< enableLatency() was called
+    /** Judges request latency against the configured objectives (the
+     *  default netperf-RR contract unless env overrides apply). */
+    SloEngine slo;
     /** exportObservability() already ran for the current run. */
     bool observabilityExported = false;
     /** Sampling rate in simulated Hz (VIRTSIM_TIMELINE_HZ or

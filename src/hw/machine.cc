@@ -202,6 +202,10 @@ Machine::reset()
     // fresh one. clear() also drops the enable/period configuration —
     // the harness (Testbed::applyObservability) re-arms it.
     _probe.timeline.clear();
+    // Same contract as the timeline: back to the never-configured
+    // state; the harness re-arms request-latency tracking if it wants
+    // it (Testbed::applyObservability).
+    _probe.latency.clear();
     registerTimelineGauges();
 }
 

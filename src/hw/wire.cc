@@ -17,6 +17,11 @@ Wire::sendToServer(Cycles t, const Packet &pkt)
         if (probe) {
             probe->trace.edgeIn(t + latency, token, edgeWireTap(),
                                 TraceCat::Io);
+            // Request-phase view of the traversal. CPU 0: the wire
+            // is the single-flow testbed worlds' one wire, and their
+            // workload runs on CPU 0.
+            probe->latency.record(0, LatencyPhase::WireFlight,
+                                  latency);
         }
         toServer(t + latency, pkt);
     };
@@ -38,6 +43,8 @@ Wire::sendToClient(Cycles t, const Packet &pkt)
         if (probe) {
             probe->trace.edgeIn(t + latency, token, edgeWireTap(),
                                 TraceCat::Io);
+            probe->latency.record(0, LatencyPhase::WireFlight,
+                                  latency);
         }
         toClient(t + latency, pkt);
     };

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "sim/lane.hh"
+#include "sim/latency.hh"
 #include "sim/log.hh"
 #include "sim/stats.hh"
 #include "sim/timeline.hh"
@@ -930,8 +931,8 @@ class EventKernelProfiler
 
 /**
  * The observability bundle a Machine owns: trace sink + metrics +
- * event-kernel profiler + timeline sampler, reset together between
- * workload runs.
+ * event-kernel profiler + timeline sampler + request-latency tracker,
+ * reset together between workload runs.
  */
 struct Probe
 {
@@ -939,6 +940,7 @@ struct Probe
     MetricsRegistry metrics;
     EventKernelProfiler profiler;
     TimelineSampler timeline;
+    RequestTracker latency;
 
     void
     reset()
@@ -947,6 +949,7 @@ struct Probe
         metrics.reset();
         profiler.reset();
         timeline.resetSeries();
+        latency.reset();
     }
 
     /**

@@ -10,6 +10,10 @@ namespace virtsim {
 void
 SampleStat::add(double sample)
 {
+    VIRTSIM_ASSERT(samples.size() < maxSamples,
+                   "SampleStat exceeded ", maxSamples,
+                   " samples; this stream needs a bounded-memory "
+                   "LatencyHistogram (sim/latency) instead");
     samples.push_back(sample);
     _sum += sample;
     sortedValid = false;

@@ -67,10 +67,25 @@ class Counter
     std::atomic<std::uint64_t> _value{0};
 };
 
-/** Accumulates a set of samples and answers summary queries. */
+/**
+ * Accumulates a set of samples and answers summary queries.
+ *
+ * Exact but unbounded: every sample is retained, so means and
+ * percentiles are exact while memory grows linearly with the sample
+ * count. That is the right trade for the paper-table experiments
+ * (thousands to low millions of samples, then the exact numbers go in
+ * a table). Streams that scale with fleet size or run length belong
+ * in LatencyHistogram (sim/latency) — bounded memory, <=0.79%
+ * quantile error — or HistogramStat below; add() asserts the
+ * maxSamples ceiling so an accidental unbounded feed fails loudly
+ * instead of quietly growing the heap.
+ */
 class SampleStat
 {
   public:
+    /** Hard ceiling on retained samples (32 MB of doubles). */
+    static constexpr std::size_t maxSamples = std::size_t{1} << 22;
+
     void add(double sample);
 
     std::size_t count() const { return samples.size(); }

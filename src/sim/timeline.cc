@@ -220,11 +220,19 @@ TimelineSampler::evaluateRules(Cycles now)
 }
 
 void
+TimelineSampler::addSampleHook(SampleHookFn fn)
+{
+    hooks.push_back(std::move(fn));
+}
+
+void
 TimelineSampler::sampleTick(Cycles now)
 {
     if (!_enabled)
         return;
     ++_ticks;
+    for (SampleHookFn &h : hooks)
+        h(now);
     for (Series &s : series) {
         const std::int64_t raw = s.fn();
         std::int64_t value = raw;
@@ -298,6 +306,7 @@ TimelineSampler::clear()
 {
     series.clear();
     rules.clear();
+    hooks.clear();
     anomalyBuf.reset();
     anomalyUsed = 0;
     _dropped = 0;

@@ -50,6 +50,10 @@ class MetricsRegistry;
  *  48 bytes covers a this-pointer plus a couple of indices. */
 using GaugeFn = InlineFunction<std::int64_t(), 48>;
 
+/** Pre-gauge sample hook: runs at the top of every sampling tick,
+ *  before gauges are read (see addSampleHook). */
+using SampleHookFn = InlineFunction<void(Cycles), 48>;
+
 /** Track id for gauges with no per-CPU affinity. */
 inline constexpr std::uint16_t gaugeNoTrack = 0xffff;
 
@@ -89,6 +93,19 @@ class TimelineSampler
      *  sampler stores the per-period delta. */
     void addRateGauge(std::string name, GaugeFn fn,
                       std::uint16_t track = gaugeNoTrack);
+
+    /**
+     * Register a hook that runs at the top of every sampling tick,
+     * before any gauge is read. Sampling ticks execute with every
+     * kernel lane quiescent (the barrier under the sharded kernel,
+     * plain event context otherwise), so a hook is the one place a
+     * consumer may fold lane-partitioned observability state —
+     * the SLO engine refreshes its rolling-quantile readings here.
+     * Hooks run in registration order; like gauges, registration
+     * must be deterministic. Kept by resetSeries(), dropped by
+     * clear().
+     */
+    void addSampleHook(SampleHookFn fn);
 
     /** Index of a registered gauge, or -1 when absent. */
     int findGauge(std::string_view name) const;
@@ -231,6 +248,7 @@ class TimelineSampler
 
     std::vector<Series> series;
     std::vector<Rule> rules;
+    std::vector<SampleHookFn> hooks;
     std::unique_ptr<Anomaly[]> anomalyBuf;
     std::uint32_t anomalyUsed = 0;
     std::uint64_t _dropped = 0;
