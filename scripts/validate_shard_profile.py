@@ -3,8 +3,9 @@
 
 Usage: scripts/validate_shard_profile.py FILE [FILE...]
 
-Checks each file against the "virtsim-shard-profile-1" schema:
-required keys, one lane_detail row per lane in lane order, internally
+Checks each file against the "virtsim-shard-profile-2" schema:
+required keys, sparse lane_detail rows (one per lane that ran or
+stalled, ascending by lane id, all-zero lanes elided), internally
 consistent wall/busy/wait accounting (busy + wait + stall never
 exceeds lanes * wall beyond rounding), round counts, and well-formed
 critical-channel records. CI runs this over the shard-profile
@@ -22,8 +23,8 @@ import json
 import sys
 
 REQUIRED_TOP = [
-    "schema", "lanes", "rounds", "parallel_rounds", "wall_ns",
-    "busy_ns_total", "speedup_estimate", "lane_detail",
+    "schema", "lanes", "lanes_profiled", "rounds", "parallel_rounds",
+    "wall_ns", "busy_ns_total", "speedup_estimate", "lane_detail",
     "critical_channels",
 ]
 REQUIRED_LANE = [
@@ -47,7 +48,7 @@ def validate(path):
     if errors:
         return errors
 
-    if doc["schema"] != "virtsim-shard-profile-1":
+    if doc["schema"] != "virtsim-shard-profile-2":
         errors.append(f"{path}: unknown schema '{doc['schema']}'")
     lanes = doc["lanes"]
     if lanes < 1:
@@ -60,37 +61,60 @@ def validate(path):
         errors.append(f"{path}: negative speedup_estimate")
 
     detail = doc["lane_detail"]
-    if len(detail) != lanes:
+    if len(detail) != doc["lanes_profiled"]:
+        errors.append(
+            f"{path}: lane_detail has {len(detail)} rows but "
+            f"lanes_profiled is {doc['lanes_profiled']}")
+    if len(detail) > lanes:
         errors.append(
             f"{path}: lane_detail has {len(detail)} rows for "
             f"{lanes} lanes")
+    if doc["rounds"] > 0 and not detail:
+        errors.append(
+            f"{path}: {doc['rounds']} rounds ran but no lane ever "
+            "ran or stalled")
     busy_total = 0
+    prev_lane = -1
     for i, row in enumerate(detail):
         for key in REQUIRED_LANE:
             if key not in row:
                 errors.append(f"{path}: lane row missing '{key}'")
                 break
         else:
-            if row["lane"] != i:
+            if not 0 <= row["lane"] < lanes:
+                errors.append(
+                    f"{path}: lane_detail[{i}] names lane "
+                    f"{row['lane']}, out of range")
+            if row["lane"] <= prev_lane:
                 errors.append(
                     f"{path}: lane_detail[{i}] is lane "
-                    f"{row['lane']}; rows must be in lane order")
+                    f"{row['lane']}; rows must ascend by lane id")
+            prev_lane = row["lane"]
             for key in REQUIRED_LANE[1:]:
                 if row[key] < 0:
                     errors.append(
-                        f"{path}: lane {i} has negative {key}")
+                        f"{path}: lane {row['lane']} has negative "
+                        f"{key}")
+            # The schema elides all-zero lanes; a row of zeros means
+            # the exporter's own filter broke.
+            if (row["busy_ns"] == 0 and row["stall_ns"] == 0 and
+                    row["events"] == 0 and row["stall_rounds"] == 0):
+                errors.append(
+                    f"{path}: lane {row['lane']} row is all-zero; "
+                    "sparse lane_detail must elide it")
             # waitNs() is clamped at export: a lane can never account
             # for much more than the whole run's wall time (1% + 1 us
             # of slack absorbs per-round clock rounding).
             accounted = row["busy_ns"] + row["wait_ns"] + row["stall_ns"]
             if accounted > doc["wall_ns"] * 1.01 + 1000:
                 errors.append(
-                    f"{path}: lane {i} accounts {accounted} ns "
-                    f"> wall {doc['wall_ns']} ns")
+                    f"{path}: lane {row['lane']} accounts "
+                    f"{accounted} ns > wall {doc['wall_ns']} ns")
             if row["stall_rounds"] > doc["rounds"]:
                 errors.append(
-                    f"{path}: lane {i} stalled {row['stall_rounds']} "
-                    f"rounds out of {doc['rounds']}")
+                    f"{path}: lane {row['lane']} stalled "
+                    f"{row['stall_rounds']} rounds out of "
+                    f"{doc['rounds']}")
             busy_total += row["busy_ns"]
     if busy_total != doc["busy_ns_total"]:
         errors.append(
@@ -119,7 +143,8 @@ def validate(path):
             prev_rounds = c["rounds"]
 
     if not errors:
-        print(f"{path}: OK ({lanes} lanes, {doc['rounds']} rounds, "
+        print(f"{path}: OK ({doc['lanes_profiled']}/{lanes} lanes "
+              f"profiled, {doc['rounds']} rounds, "
               f"{doc['parallel_rounds']} parallel, speedup estimate "
               f"x{doc['speedup_estimate']:.2f})")
     return errors

@@ -95,13 +95,41 @@ struct FleetWorld
     bool bursting = false;
     std::uint64_t arrivalsLeft = 0;
 
+    /** Connections VM `i` serves (uniform unless connsByVm skews). */
+    int
+    connsOf(int i) const
+    {
+        return cfg.connsByVm.empty()
+                   ? cfg.connsPerCpu
+                   : cfg.connsByVm[static_cast<std::size_t>(i)];
+    }
+
     FleetWorld(const FleetConfig &c, int lanes)
         : cfg(c), kern(lanes), mc(MachineConfig::hpMoonshotM400())
     {
         VIRTSIM_ASSERT(lanes >= 1, "fleet needs >= 1 lane");
+        // The VM-count scale axis: each VM is one netperf-RR service
+        // pinned to its own vCPU, so the machine is sized to the VM
+        // count. The env override lets CI and benches sweep fleet
+        // size without a code change.
+        if (const auto vms =
+                envPositiveCount("VIRTSIM_FLEET_VMS", maxFleetVms))
+            cfg.nVms = static_cast<int>(*vms);
+        if (cfg.nVms > 0)
+            cfg.nCpus = cfg.nVms;
+        VIRTSIM_ASSERT(cfg.nCpus <= maxFleetVms, "fleet of ",
+                       cfg.nCpus, " VMs exceeds maxFleetVms (",
+                       maxFleetVms, ")");
         VIRTSIM_ASSERT(cfg.nCpus >= 1 && cfg.connsPerCpu >= 1 &&
                            cfg.transactionsPerConn >= 1,
                        "empty fleet workload");
+        VIRTSIM_ASSERT(cfg.connsByVm.empty() ||
+                           cfg.connsByVm.size() ==
+                               static_cast<std::size_t>(cfg.nCpus),
+                       "connsByVm has ", cfg.connsByVm.size(),
+                       " entries for ", cfg.nCpus, " VMs");
+        for (const int k : cfg.connsByVm)
+            VIRTSIM_ASSERT(k >= 1, "connsByVm entries must be >= 1");
         mc.name = "fleet";
         mc.nCpus = cfg.nCpus;
 
@@ -125,10 +153,31 @@ struct FleetWorld
                        "open-loop arrival parameters must be positive");
 
         MachineShardPlan plan;
-        plan.deviceLane = 0;
-        plan.cpuLane.resize(static_cast<std::size_t>(cfg.nCpus));
-        for (int i = 0; i < cfg.nCpus; ++i)
-            plan.cpuLane[static_cast<std::size_t>(i)] = i % lanes;
+        if (cfg.roundRobinPlan) {
+            plan.deviceLane = 0;
+            plan.cpuLane.resize(static_cast<std::size_t>(cfg.nCpus));
+            for (int i = 0; i < cfg.nCpus; ++i)
+                plan.cpuLane[static_cast<std::size_t>(i)] = i % lanes;
+        } else {
+            // Balanced packing by static per-VM weight: a VM's event
+            // traffic is proportional to its connection count, and
+            // the client side (lane 0) handles every connection's
+            // completions, so it is preloaded with the fleet total —
+            // VMs prefer other lanes while any remain. (A profiling
+            // warmup's per-lane event counts, kern.stats(), would
+            // serve as weights the same way for workloads whose cost
+            // is not connection-proportional.)
+            std::vector<std::uint64_t> w(
+                static_cast<std::size_t>(cfg.nCpus));
+            std::uint64_t total = 0;
+            for (int i = 0; i < cfg.nCpus; ++i) {
+                w[static_cast<std::size_t>(i)] =
+                    static_cast<std::uint64_t>(connsOf(i));
+                total += w[static_cast<std::size_t>(i)];
+            }
+            plan = MachineShardPlan::balanced(cfg.nCpus, lanes, w,
+                                              total);
+        }
         // Nothing in this world sends an IPI; see the header comment.
         plan.ipiChannels = false;
 
@@ -165,12 +214,16 @@ struct FleetWorld
 
         armObservability(lanes);
 
-        conns.resize(static_cast<std::size_t>(cfg.nCpus) *
-                     static_cast<std::size_t>(cfg.connsPerCpu));
-        for (std::size_t k = 0; k < conns.size(); ++k) {
-            conns[k].cpu =
-                static_cast<int>(k) / cfg.connsPerCpu;
-            conns[k].remaining = cfg.transactionsPerConn;
+        // VM 0's connections first, then VM 1's, and so on — a fixed
+        // index order independent of shard plan and lane count, which
+        // is what keeps the checksum byte-identical across both.
+        for (int i = 0; i < cfg.nCpus; ++i) {
+            for (int j = 0; j < connsOf(i); ++j) {
+                FleetConn conn;
+                conn.cpu = i;
+                conn.remaining = cfg.transactionsPerConn;
+                conns.push_back(conn);
+            }
         }
 
         if (cfg.openLoop) {
@@ -366,8 +419,14 @@ struct FleetWorld
             tl.publishAnomalies(mach->metrics());
             if (slo.armed())
                 slo.publish(mach->metrics());
-            if (envPositiveCount("VIRTSIM_SHARD_STATS", 1))
+            if (envPositiveCount("VIRTSIM_SHARD_STATS", 1)) {
+                // Every lane has joined by export time, so the
+                // single-threaded publisher may intern the sparse,
+                // lane-count-dependent shard taps that could not be
+                // pre-warmed before prepareForParallel().
+                mach->metrics().endParallel();
                 kern.publishStats(mach->metrics());
+            }
             const std::string path = perTagPath(metricsPath);
             std::ofstream os(path);
             if (!os) {
@@ -550,6 +609,7 @@ struct FleetWorld
 
         r.rounds = kern.stats().rounds;
         r.parallelRounds = kern.stats().parallelRounds;
+        r.laneDispatches = kern.stats().laneDispatches;
         exportObservability();
         return r;
     }

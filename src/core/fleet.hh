@@ -16,8 +16,11 @@
  *
  * Topology under VIRTSIM_SHARDS = N:
  *  - lane 0: the client (all connections) and the device shard,
- *  - PhysicalCpu i: lane i mod N (cpu 0 shares lane 0 with the
- *    client),
+ *  - PhysicalCpu i: the lane MachineShardPlan::balanced() packs it
+ *    onto — per-VM connection counts as weights, the client's total
+ *    preloading lane 0 so VMs prefer other lanes while any remain
+ *    (FleetConfig::roundRobinPlan restores the legacy i mod N
+ *    assignment; results are byte-identical either way),
  *  - per-CPU channels "fleet.req.cpu<i>" (client -> cpu) and
  *    "fleet.rsp.cpu<i>" (cpu -> client), lookahead = the wire's
  *    one-way flight time.
@@ -50,8 +53,34 @@ struct FleetConfig
 {
     /** Server CPUs (one netperf service per CPU). */
     int nCpus = 4;
+    /**
+     * Server VMs, the cloud-consolidation scale axis (ROADMAP item
+     * 1): each VM is one netperf-RR service pinned to its own vCPU,
+     * so nVms > 0 sizes the machine to nVms CPUs and overrides
+     * nCpus. 0 (the default) keeps the classic one-service-per-CPU
+     * shape of nCpus. VIRTSIM_FLEET_VMS overrides from the
+     * environment, validated against maxFleetVms.
+     */
+    int nVms = 0;
     /** Persistent TCP_RR connections per server CPU. */
     int connsPerCpu = 32;
+    /**
+     * Per-VM connection counts — the load-skew axis. Empty = uniform
+     * (connsPerCpu everywhere); otherwise one entry per VM, each >=
+     * 1, and connsPerCpu is ignored. Skewed fleets are what
+     * balanced() planning packs: the per-VM counts double as the
+     * static per-shard weights.
+     */
+    std::vector<int> connsByVm;
+    /**
+     * Use the legacy round-robin shard plan (VM i on lane i mod
+     * lanes) instead of MachineShardPlan::balanced() packing by
+     * per-VM connection weight. Modelled results are byte-identical
+     * either way — the kernel's determinism bar guarantees the plan
+     * only moves wall-clock, never results — so this exists for
+     * differential tests and plan comparisons.
+     */
+    bool roundRobinPlan = false;
     /** Request/response transactions each connection performs. */
     int transactionsPerConn = 250;
     /** One-way wire latency in microseconds (client <-> server). */
@@ -104,6 +133,13 @@ struct FleetConfig
     std::vector<SloSpec> slos;
 };
 
+/** Ceiling on the fleet's VM count (FleetConfig::nVms and the
+ *  VIRTSIM_FLEET_VMS override). 256 covers the scale-out story — a
+ *  rack's worth of consolidated netperf-RR VMs — while keeping a
+ *  typo'd VIRTSIM_FLEET_VMS=1e6 a loud failure instead of a
+ *  melted host. */
+inline constexpr int maxFleetVms = 256;
+
 /** Default fleet SLO threshold on p99 RTT, microseconds. Roomy for
  *  the default closed-loop fleet (whose steady-state RTT is governed
  *  by connsPerCpu * service time), tight enough that open-loop
@@ -139,6 +175,11 @@ struct FleetResult
 
     std::uint64_t rounds = 0;         ///< host-side, lane-dependent
     std::uint64_t parallelRounds = 0; ///< host-side, lane-dependent
+    /** Lane executions the coordinator dispatched; laneDispatches /
+     *  rounds is the mean runnable-lane count per round, the number
+     *  the sparse coordinator's idle-lane elision keeps far below
+     *  the lane count on big mostly-idle fleets. Host-side. */
+    std::uint64_t laneDispatches = 0;
 
     bool
     sameModelledResult(const FleetResult &o) const

@@ -227,7 +227,8 @@ renderShardSummary(const ShardProfile &profile)
         return "";
     const std::size_t n = profile.lanes.size();
     std::ostringstream oss;
-    oss << "Shard profile: " << n << " lanes, " << profile.rounds
+    oss << "Shard profile: " << n << " lanes ("
+        << profile.lanesProfiled() << " active), " << profile.rounds
         << " rounds (" << profile.parallelRounds << " parallel), "
         << formatFixed(
                static_cast<double>(profile.wallNs) / 1e6, 2)
@@ -236,8 +237,13 @@ renderShardSummary(const ShardProfile &profile)
 
     TextTable t({"lane", "events", "busy ms", "wait ms", "stall ms",
                  "stall rounds"});
+    // Sparse like the export: a fleet-scale kernel keeps spare
+    // lanes, and 200 all-zero rows would bury the table's signal.
     for (std::size_t i = 0; i < n; ++i) {
         const ShardProfile::Lane &l = profile.lanes[i];
+        if (l.busyNs == 0 && l.stallNs == 0 && l.events == 0 &&
+            l.stallRounds == 0)
+            continue;
         t.addRow({"lane" + std::to_string(i),
                   std::to_string(l.events),
                   formatFixed(static_cast<double>(l.busyNs) / 1e6, 2),

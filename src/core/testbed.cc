@@ -231,6 +231,16 @@ Testbed::applyObservability()
                          ".q_us") < 0) {
             slo.installTimeline(tl, server->freq());
         }
+        // Shard health on the timeline rides the same explicit
+        // opt-in as the counter snapshot below: gauge values are
+        // lane-dependent, so the default timeline export must stay
+        // byte-identical at every VIRTSIM_SHARDS. registerGauges
+        // itself stays lane-count safe — three aggregates always,
+        // per-lane depth/horizon/lag only below its per-lane cap.
+        if (envPositiveCount("VIRTSIM_SHARD_STATS", 1) &&
+            tl.findGauge("shard.lanes_live") < 0) {
+            kern.registerGauges(tl);
+        }
     }
     if (!tracePath.empty() || !metricsPath.empty() ||
         !flamePath.empty() || !timelinePath.empty()) {

@@ -1,8 +1,64 @@
 #include "hw/machine.hh"
 
+#include <algorithm>
+#include <numeric>
+
 #include "sim/log.hh"
 
 namespace virtsim {
+
+MachineShardPlan
+MachineShardPlan::balanced(int nCpus, int maxLanes,
+                           const std::vector<std::uint64_t> &weights,
+                           std::uint64_t deviceWeight)
+{
+    VIRTSIM_ASSERT(nCpus > 0, "balanced plan needs at least one cpu");
+    VIRTSIM_ASSERT(maxLanes > 0,
+                   "balanced plan needs at least one lane");
+    VIRTSIM_ASSERT(weights.empty() ||
+                       weights.size() ==
+                           static_cast<std::size_t>(nCpus),
+                   "balanced plan: ", weights.size(),
+                   " weights for ", nCpus, " cpus");
+    MachineShardPlan plan;
+    plan.deviceLane = 0;
+    plan.cpuLane.assign(static_cast<std::size_t>(nCpus), 0);
+    if (maxLanes == 1)
+        return plan; // everything on lane 0; nothing to balance
+
+    // Heaviest first (LPT): sort CPU indices by descending weight,
+    // ascending CPU on ties, so the packing is deterministic.
+    std::vector<int> order(static_cast<std::size_t>(nCpus));
+    std::iota(order.begin(), order.end(), 0);
+    const auto weightOf = [&weights](int cpu) {
+        if (weights.empty())
+            return std::uint64_t{1};
+        // An idle shard still costs a queue slot; floor at 1 so the
+        // packing spreads zero-weight CPUs instead of piling them
+        // all onto one lane.
+        return std::max<std::uint64_t>(
+            1, weights[static_cast<std::size_t>(cpu)]);
+    };
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+        const std::uint64_t wa = weightOf(a), wb = weightOf(b);
+        return wa != wb ? wa > wb : a < b;
+    });
+
+    std::vector<std::uint64_t> load(
+        static_cast<std::size_t>(maxLanes), 0);
+    load[0] = deviceWeight;
+    for (int cpu : order) {
+        int best = 0;
+        for (int l = 1; l < maxLanes; ++l) {
+            if (load[static_cast<std::size_t>(l)] <
+                load[static_cast<std::size_t>(best)])
+                best = l;
+        }
+        plan.cpuLane[static_cast<std::size_t>(cpu)] = best;
+        load[static_cast<std::size_t>(best)] += weightOf(cpu);
+    }
+    return plan;
+}
 
 MachineConfig
 MachineConfig::hpMoonshotM400()

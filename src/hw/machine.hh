@@ -84,6 +84,32 @@ struct MachineShardPlan
                    ? deviceLane
                    : cpuLane[static_cast<std::size_t>(cpu)];
     }
+
+    /**
+     * Load-balanced planning: pack nCpus per-CPU shards onto at most
+     * maxLanes lanes by longest-processing-time greedy packing —
+     * heaviest shard first onto the least-loaded lane, ties broken
+     * toward the lowest lane (and, among equal weights, the lowest
+     * CPU), so the plan is a pure function of its inputs.
+     *
+     * weights[i] estimates CPU i's event traffic: per-shard event
+     * counts from a profiling warmup (ShardedEventKernel::stats()
+     * lane events after a short representative run), or static
+     * weights like per-VM connection counts. Empty = uniform.
+     * deviceWeight preloads lane 0 with the device/wire/client
+     * side's share so CPUs prefer other lanes while any remain.
+     *
+     * The kernel's determinism bar (modelled results byte-identical
+     * at every VIRTSIM_SHARDS) already guarantees the plan cannot
+     * change results — only wall-clock balance. This is what lets
+     * VIRTSIM_SHARDS stay far below the CPU count on huge fleets:
+     * 256 VMs on a 16-lane kernel get ~16 CPUs per lane instead of
+     * demanding 257 lanes.
+     */
+    static MachineShardPlan
+    balanced(int nCpus, int maxLanes,
+             const std::vector<std::uint64_t> &weights = {},
+             std::uint64_t deviceWeight = 0);
 };
 
 /**

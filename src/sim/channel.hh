@@ -67,6 +67,21 @@ cpuShard(PcpuId cpu)
 }
 
 /**
+ * One directed lane-to-lane edge of the channel graph, as aggregated
+ * by the kernel from every channel declaration: `peer` is the other
+ * endpoint's lane and `look` the tightest declared lookahead on the
+ * edge. The kernel keeps per-lane in/out adjacency lists of these so
+ * the per-round LBTS propagation walks O(edges declared), not the
+ * full lane × lane matrix — the matrix is only the build-time
+ * aggregation structure, never the per-round working set.
+ */
+struct LaneEdge
+{
+    int peer;
+    Cycles look;
+};
+
+/**
  * One declared cross-shard edge. Obtained from
  * ShardedEventKernel::channel(); never constructed directly. Sends
  * are deterministic for a fixed workload regardless of how shards map

@@ -286,6 +286,11 @@ writeShardProfileCounters(std::ostream &os, const ShardProfile &p)
 {
     for (std::size_t i = 0; i < p.lanes.size(); ++i) {
         const ShardProfile::Lane &ln = p.lanes[i];
+        // Sparse like the JSON export: spare fleet lanes that never
+        // ran or stalled get no counter track.
+        if (ln.busyNs == 0 && ln.stallNs == 0 && ln.events == 0 &&
+            ln.stallRounds == 0)
+            continue;
         os << ",\n{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":0.0000,"
               "\"name\":\"shard.lane"
            << i << ".walltime_us\",\"cat\":\"shard\",\"args\":{"
@@ -486,6 +491,16 @@ MetricsRegistry::prepareForParallel(int nCpus)
         dom->prepareForParallel(taps);
     for (auto &dom : _cpus)
         dom->prepareForParallel(taps);
+}
+
+void
+MetricsRegistry::endParallel()
+{
+    _machine->endParallel();
+    for (auto &[key, dom] : _vms)
+        dom->endParallel();
+    for (auto &dom : _cpus)
+        dom->endParallel();
 }
 
 void

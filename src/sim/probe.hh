@@ -684,6 +684,16 @@ class MetricsDomain
         parallelPrepared = true;
     }
 
+    /**
+     * Lift the prepareForParallel() growth freeze once the parallel
+     * phase is over (every lane joined). Post-run publishers may
+     * then intern late taps again from a single thread — the shard
+     * health counters use this: their per-lane rows are sparse and
+     * lane-count-dependent, so pre-warming every possible name would
+     * defeat the point of sparse publication.
+     */
+    void endParallel() { parallelPrepared = false; }
+
     HistogramStat &
     histogram(TapId tap)
     {
@@ -826,6 +836,10 @@ class MetricsRegistry
      * has no effect on snapshot contents.
      */
     void prepareForParallel(int nCpus);
+
+    /** Lift every domain's growth freeze after the parallel phase
+     *  (see MetricsDomain::endParallel). */
+    void endParallel();
 
     /** Zero all counters and histograms in every domain. */
     void reset();

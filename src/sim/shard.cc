@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <numeric>
 #include <utility>
 
 #include "sim/env.hh"
@@ -68,10 +69,25 @@ ShardedEventKernel::ShardedEventKernel(int laneCount)
     minLook.assign(n * n, noBound);
     lookChannel.assign(n * n, std::string());
     mail.resize(n * n);
+    touchedDst_.resize(n);
+    nextEv_.assign(n, noPendingEvent);
+    livePos_.assign(n, -1);
+    laneLive_.assign(n, 0);
+    bound_.assign(n, noBound);
+    inWork_.assign(n, 0);
+    dispatched_.assign(n, 0);
     roundTarget.resize(n);
     roundFired.resize(n);
     roundBusyNs.resize(n);
     st.lanes.resize(n);
+    // The dense coordinator only survives as a reference: the
+    // differential tests and the fleet-scale benchmarks run it to
+    // prove the sparse one is equivalent and faster.
+    if (envPositiveCount("VIRTSIM_SHARD_DENSE", 1))
+        dense_ = true;
+#ifndef NDEBUG
+    crossCheck_ = true;
+#endif
 }
 
 ShardedEventKernel::~ShardedEventKernel()
@@ -117,6 +133,33 @@ ShardedEventKernel::addLookahead(int srcLane, int dstLane, Cycles look,
     if (look < slot || lookChannel[flat].empty())
         lookChannel[flat] = channelName;
     slot = std::min(slot, look);
+    edgesDirty_ = true;
+}
+
+void
+ShardedEventKernel::rebuildEdges()
+{
+    const int n = laneCount();
+    inEdges_.assign(static_cast<std::size_t>(n), {});
+    outEdges_.assign(static_cast<std::size_t>(n), {});
+    for (int s = 0; s < n; ++s) {
+        for (int d = 0; d < n; ++d) {
+            const Cycles look =
+                minLook[static_cast<std::size_t>(s) * lanes_.size() +
+                        static_cast<std::size_t>(d)];
+            if (look == noBound)
+                continue;
+            // Built with both endpoints ascending, so walking
+            // inEdges_[d] visits sources in the same order the dense
+            // reference scans them — identical deterministic
+            // tie-breaks in critical-channel attribution.
+            outEdges_[static_cast<std::size_t>(s)].push_back(
+                LaneEdge{d, look});
+            inEdges_[static_cast<std::size_t>(d)].push_back(
+                LaneEdge{s, look});
+        }
+    }
+    edgesDirty_ = false;
 }
 
 ShardChannel &
@@ -200,8 +243,15 @@ ShardedEventKernel::channelSend(ShardChannel &ch, Cycles when,
                    "channel '", ch.name(), "' send at ", when,
                    " violates declared lookahead ", ch.lookahead(),
                    " from lane time ", src.now());
-    mailbox(cur, dst).msgs.push_back(
-        Pending{when, label, std::move(fn)});
+    Mailbox &mb = mailbox(cur, dst);
+    // First message into this mailbox this round: record the
+    // destination so the sparse merge visits exactly the pairs that
+    // buffered traffic. Mailboxes are fully drained every round, so
+    // empty-before-push is equivalent to first-touch — the list never
+    // holds duplicates.
+    if (mb.msgs.empty())
+        touchedDst_[static_cast<std::size_t>(cur)].push_back(dst);
+    mb.msgs.push_back(Pending{when, label, std::move(fn)});
     return invalidEventId;
 }
 
@@ -242,14 +292,34 @@ ShardedEventKernel::step()
     return lane(0).step();
 }
 
+void
+ShardedEventKernel::refreshLane(int i)
+{
+    const auto ii = static_cast<std::size_t>(i);
+    const Cycles t = lane(i).nextEventTime();
+    nextEv_[ii] = t;
+    const bool live = t != noPendingEvent;
+    if (live && !laneLive_[ii]) {
+        laneLive_[ii] = 1;
+        livePos_[ii] = static_cast<int>(liveLanes_.size());
+        liveLanes_.push_back(i);
+    } else if (!live && laneLive_[ii]) {
+        const int hole = livePos_[ii];
+        const int back = liveLanes_.back();
+        liveLanes_[static_cast<std::size_t>(hole)] = back;
+        livePos_[static_cast<std::size_t>(back)] = hole;
+        liveLanes_.pop_back();
+        laneLive_[ii] = 0;
+        livePos_[ii] = -1;
+    }
+}
+
 Cycles
 ShardedEventKernel::runRounds(bool bounded, Cycles limit)
 {
     using clock = std::chrono::steady_clock;
-    const int n = laneCount();
-    const bool parallelAllowed = !inSweepTask();
-    std::vector<Cycles> nextEv(static_cast<std::size_t>(n));
-    std::vector<Cycles> bound(static_cast<std::size_t>(n));
+    if (edgesDirty_)
+        rebuildEdges();
 
     // Barrier-driven timeline sampling: the coordinator samples every
     // gauge at period-aligned simulated instants between rounds, with
@@ -261,9 +331,9 @@ ShardedEventKernel::runRounds(bool bounded, Cycles limit)
     TimelineSampler *const tl =
         (probe_ && probe_->timeline.enabled()) ? &probe_->timeline
                                                : nullptr;
-    const Cycles period = tl ? tl->period() : 0;
     Cycles tickAt = 0;
     if (tl) {
+        const Cycles period = tl->period();
         const Cycles t0 = now();
         tickAt = (t0 % period == 0) ? t0
                                     : ((t0 / period) + 1) * period;
@@ -278,18 +348,71 @@ ShardedEventKernel::runRounds(bool bounded, Cycles limit)
         profile_.critChannel = lookChannel;
     }
 
+    if (dense_)
+        runDenseRounds(bounded, limit, tl, tickAt, prof);
+    else
+        runSparseRounds(bounded, limit, tl, tickAt, prof);
+
+    // Records stamped since the last completed round (or before a
+    // run that drained immediately) still need delivering.
+    if (probe_)
+        probe_->trace.flushObserver();
+
+    if (prof) {
+        profile_.wallNs += elapsedNs(wallStart, clock::now());
+        profile_.rounds = st.rounds;
+        profile_.parallelRounds = st.parallelRounds;
+    }
+
+    if (bounded) {
+        for (int i = 0; i < laneCount(); ++i)
+            lane(i).advanceClockTo(limit);
+        return limit;
+    }
+    return now();
+}
+
+void
+ShardedEventKernel::runSparseRounds(bool bounded, Cycles limit,
+                                    TimelineSampler *tl, Cycles tickAt,
+                                    bool prof)
+{
+    using clock = std::chrono::steady_clock;
+    const int n = laneCount();
+    const bool parallelAllowed = !inSweepTask();
+    const Cycles period = tl ? tl->period() : 0;
+
+    // Reconcile the lane caches with whatever happened since the last
+    // run: setup-context scheduleAt, cancellations, clear()/reset().
+    // From here on only merged messages and the lanes' own execution
+    // mutate the queues, and both refresh the cache at the spot.
+    for (int i = 0; i < n; ++i)
+        refreshLane(i);
+    // Stale from the previous run; its sends were all drained before
+    // that run could end.
+    dispatch_.clear();
+    Cycles front = 0;
+    for (int i = 0; i < n; ++i)
+        front = std::max(front, lane(i).now());
+
     for (;;) {
         ++st.rounds;
 
-        // 1. Deterministic merge: drain mailboxes in (src, dst, send
-        //    order). Message times never precede the destination
-        //    lane's clock (safety argument in the header), so these
-        //    scheduleAt calls cannot go backwards.
-        for (int s = 0; s < n; ++s) {
-            for (int d = 0; d < n; ++d) {
+        // 1. Deterministic merge, sparse: only lanes dispatched last
+        //    round can have sent, and each privately recorded the
+        //    destinations it buffered a first message for. Sorting
+        //    each source's destination list restores the canonical
+        //    (src asc, dst asc, send order) drain of the dense scan,
+        //    byte for byte. Message times never precede the
+        //    destination lane's clock (safety argument in the
+        //    header), so these scheduleAt calls cannot go backwards.
+        for (int s : dispatch_) {
+            auto &td = touchedDst_[static_cast<std::size_t>(s)];
+            if (td.empty())
+                continue;
+            std::sort(td.begin(), td.end());
+            for (int d : td) {
                 Mailbox &mb = mailbox(s, d);
-                if (mb.msgs.empty())
-                    continue;
                 st.lanes[static_cast<std::size_t>(d)].msgsIn +=
                     mb.msgs.size();
                 st.crossMsgs += mb.msgs.size();
@@ -298,20 +421,16 @@ ShardedEventKernel::runRounds(bool bounded, Cycles limit)
                                        std::move(p.fn));
                 }
                 mb.msgs.clear();
+                refreshLane(d);
             }
+            td.clear();
         }
 
-        // 2. Horizons.
+        // 2. Horizons, over the live set only.
         Cycles minNext = noPendingEvent;
-        int activeLanes = 0;
-        for (int i = 0; i < n; ++i) {
-            const Cycles t = lane(i).nextEventTime();
-            nextEv[static_cast<std::size_t>(i)] = t;
-            if (t != noPendingEvent) {
-                ++activeLanes;
-                minNext = std::min(minNext, t);
-            }
-        }
+        for (int i : liveLanes_)
+            minNext = std::min(minNext,
+                               nextEv_[static_cast<std::size_t>(i)]);
         if (minNext == noPendingEvent)
             break; // drained, and the drain above emptied all mail
         if (bounded && minNext > limit)
@@ -331,15 +450,255 @@ ShardedEventKernel::runRounds(bool bounded, Cycles limit)
 
         // The LBTS fixed point:
         //   N[i] = min(nextEv[i], min_j (N[j] + look[j][i]))
-        // iterated to convergence. N[i] lower-bounds the time of
-        // anything lane i could still execute or emit — its own
-        // earliest event or a message arriving over an in-edge. An
-        // empty lane is NOT unconstraining: a message can wake it
-        // and make it send, so its earliest possible receive time
-        // still bounds every lane downstream of it, covering
-        // transitive chains and cycles through idle lanes.
-        // Relaxation converges in <= n passes (edge weights are
-        // positive) over an n*n matrix of lanes, all tiny.
+        // by worklist relaxation over the out-adjacency lists, seeded
+        // from the lanes that hold events. Min-plus relaxation with
+        // positive edge weights has a unique least fixed point, so
+        // the result is identical to the dense iteration no matter
+        // the relaxation order (verifyHorizons checks exactly that).
+        // An empty lane is NOT unconstraining: a message can wake it
+        // and make it send, so relaxation lowers its bound from
+        // noBound through its in-edges, covering transitive chains
+        // and cycles through idle lanes. bound_ holds noBound
+        // everywhere between rounds; touchedBound_ undoes this
+        // round's writes in O(work).
+        work_.clear();
+        std::size_t workHead = 0;
+        for (int i : liveLanes_) {
+            const auto ii = static_cast<std::size_t>(i);
+            bound_[ii] = nextEv_[ii];
+            touchedBound_.push_back(i);
+            inWork_[ii] = 1;
+            work_.push_back(i);
+        }
+        while (workHead < work_.size()) {
+            const int j = work_[workHead++];
+            inWork_[static_cast<std::size_t>(j)] = 0;
+            const Cycles bj = bound_[static_cast<std::size_t>(j)];
+            for (const LaneEdge &e :
+                 outEdges_[static_cast<std::size_t>(j)]) {
+                const auto pp = static_cast<std::size_t>(e.peer);
+                const Cycles c = satAdd(bj, e.look);
+                if (c < bound_[pp]) {
+                    if (bound_[pp] == noBound)
+                        touchedBound_.push_back(e.peer);
+                    bound_[pp] = c;
+                    if (!inWork_[pp]) {
+                        inWork_[pp] = 1;
+                        work_.push_back(e.peer);
+                    }
+                }
+            }
+        }
+
+        // Lane i may execute strictly below the earliest time any
+        // other lane could still send to it. Only live lanes need a
+        // target: an empty lane has nothing to run below any target,
+        // and is precisely the lane the elision skips.
+        dispatch_.clear();
+        for (int i : liveLanes_) {
+            const auto ii = static_cast<std::size_t>(i);
+            Cycles target = noBound;
+            for (const LaneEdge &e : inEdges_[ii])
+                target = std::min(
+                    target,
+                    satAdd(bound_[static_cast<std::size_t>(e.peer)],
+                           e.look));
+            if (bounded && (target == noBound || target > limit))
+                target = limit + 1;
+            // Never run past an unsampled timeline tick. The lane
+            // holding minNext keeps target > minNext either way
+            // (tickAt was advanced past minNext above), so progress
+            // survives the cap.
+            if (tl && tickAt < target)
+                target = tickAt;
+            roundTarget[ii] = target;
+            if (nextEv_[ii] < target) {
+                dispatch_.push_back(i);
+                dispatched_[ii] = 1;
+            }
+        }
+        // liveLanes_ is unordered (swap-erase set); the merge next
+        // round needs sources ascending.
+        std::sort(dispatch_.begin(), dispatch_.end());
+
+        if (crossCheck_)
+            verifyHorizons(bounded, limit, tl, tickAt);
+
+        // Positive cross-lane lookaheads guarantee the earliest lane
+        // always clears its horizon; no runnable lane while events
+        // remain in bounds means a modelling bug (e.g. an undeclared
+        // channel).
+        VIRTSIM_ASSERT(!dispatch_.empty(),
+                       "sharded kernel made no progress in a round ",
+                       "(undeclared cross-lane edge?)");
+
+        // 3. Execute — runnable lanes only; an idle lane is neither
+        //    handed to a worker nor counted below. The crew only
+        //    earns its keep when two or more lanes have work.
+        const bool parallel =
+            parallelAllowed && dispatch_.size() >= 2;
+        clock::time_point roundStart;
+        if (prof)
+            roundStart = clock::now();
+        executePhase(parallel);
+        if (parallel)
+            ++st.parallelRounds;
+        st.laneDispatches += dispatch_.size();
+        const std::uint64_t roundNs =
+            prof ? elapsedNs(roundStart, clock::now()) : 0;
+
+        // 4. Account. Stall = a lane that had a pending event inside
+        //    the bound (and below any timeline tick cap) but whose
+        //    horizon blocked it entirely — exactly the lanes the
+        //    dense coordinator would have dispatched for zero fired
+        //    events, so the counters agree between the two.
+        std::size_t firedTotal = 0;
+        for (int i : dispatch_)
+            front = std::max(front, lane(i).now());
+        for (int i : dispatch_) {
+            const auto ii = static_cast<std::size_t>(i);
+            LaneStats &ls = st.lanes[ii];
+            firedTotal += roundFired[ii];
+            ls.events += roundFired[ii];
+            ++ls.advances;
+            ls.maxHorizonLag =
+                std::max(ls.maxHorizonLag, front - lane(i).now());
+            if (prof) {
+                ShardProfile::Lane &pl = profile_.lanes[ii];
+                pl.busyNs += roundBusyNs[ii];
+                pl.events += roundFired[ii];
+            }
+        }
+        for (int i : liveLanes_) {
+            const auto ii = static_cast<std::size_t>(i);
+            if (dispatched_[ii])
+                continue;
+            if (bounded && nextEv_[ii] > limit)
+                continue;
+            if (tl && nextEv_[ii] >= tickAt)
+                continue;
+            LaneStats &ls = st.lanes[ii];
+            ++ls.stalls;
+            ls.maxHorizonLag =
+                std::max(ls.maxHorizonLag, front - lane(i).now());
+            if (prof) {
+                ShardProfile::Lane &pl = profile_.lanes[ii];
+                ++pl.stallRounds;
+                // The lane never ran, so the whole round was wait.
+                pl.stallNs += roundNs;
+                // Critical-channel attribution: the in-edge whose
+                // bound was the binding horizon limit. inEdges_ keeps
+                // sources ascending, so ties go to the lowest source
+                // lane, deterministically — same as the dense scan.
+                Cycles best = noBound;
+                int bestJ = -1;
+                for (const LaneEdge &e : inEdges_[ii]) {
+                    const Cycles c = satAdd(
+                        bound_[static_cast<std::size_t>(e.peer)],
+                        e.look);
+                    if (c < best) {
+                        best = c;
+                        bestJ = e.peer;
+                    }
+                }
+                if (bestJ >= 0 && best == roundTarget[ii]) {
+                    ++profile_.critRounds
+                          [ii * static_cast<std::size_t>(n) +
+                           static_cast<std::size_t>(bestJ)];
+                }
+            }
+        }
+        VIRTSIM_ASSERT(firedTotal > 0,
+                       "sharded kernel made no progress in a round ",
+                       "(undeclared cross-lane edge?)");
+
+        // Undo this round's scratch writes and re-read the lanes that
+        // ran; nothing else can have changed.
+        for (int i : touchedBound_)
+            bound_[static_cast<std::size_t>(i)] = noBound;
+        touchedBound_.clear();
+        for (int i : dispatch_) {
+            dispatched_[static_cast<std::size_t>(i)] = 0;
+            refreshLane(i);
+        }
+
+        // Stream this round's trace records to the observer in
+        // canonical merged order. Single-threaded here between
+        // barriers; a no-op without a deferred observer.
+        if (probe_)
+            probe_->trace.flushObserver();
+    }
+}
+
+void
+ShardedEventKernel::runDenseRounds(bool bounded, Cycles limit,
+                                   TimelineSampler *tl, Cycles tickAt,
+                                   bool prof)
+{
+    using clock = std::chrono::steady_clock;
+    const int n = laneCount();
+    const bool parallelAllowed = !inSweepTask();
+    const Cycles period = tl ? tl->period() : 0;
+    std::vector<Cycles> nextEv(static_cast<std::size_t>(n));
+    std::vector<Cycles> bound(static_cast<std::size_t>(n));
+
+    // Every lane, every round: the reference coordinator the sparse
+    // one is checked against and benchmarked against.
+    dispatch_.resize(static_cast<std::size_t>(n));
+    std::iota(dispatch_.begin(), dispatch_.end(), 0);
+
+    for (;;) {
+        ++st.rounds;
+
+        // 1. Deterministic merge: drain mailboxes in (src, dst, send
+        //    order), scanning every pair.
+        for (int s = 0; s < n; ++s) {
+            for (int d = 0; d < n; ++d) {
+                Mailbox &mb = mailbox(s, d);
+                if (mb.msgs.empty())
+                    continue;
+                st.lanes[static_cast<std::size_t>(d)].msgsIn +=
+                    mb.msgs.size();
+                st.crossMsgs += mb.msgs.size();
+                for (Pending &p : mb.msgs) {
+                    lane(d).scheduleAt(p.when, p.label,
+                                       std::move(p.fn));
+                }
+                mb.msgs.clear();
+            }
+        }
+        // The sends above were recorded for the sparse merge too;
+        // the full scan superseded them.
+        for (auto &td : touchedDst_)
+            td.clear();
+
+        // 2. Horizons.
+        Cycles minNext = noPendingEvent;
+        int activeLanes = 0;
+        for (int i = 0; i < n; ++i) {
+            const Cycles t = lane(i).nextEventTime();
+            nextEv[static_cast<std::size_t>(i)] = t;
+            if (t != noPendingEvent) {
+                ++activeLanes;
+                minNext = std::min(minNext, t);
+            }
+        }
+        if (minNext == noPendingEvent)
+            break; // drained, and the drain above emptied all mail
+        if (bounded && minNext > limit)
+            break;
+
+        if (tl) {
+            while (tickAt <= minNext &&
+                   (!bounded || tickAt <= limit)) {
+                tl->sampleTick(tickAt);
+                tickAt += period;
+            }
+        }
+
+        // The LBTS fixed point by dense Gauss-Seidel iteration over
+        // the full lane x lane matrix (see the sparse loop for the
+        // algorithmic commentary; the fixed point is the same).
         for (int i = 0; i < n; ++i)
             bound[static_cast<std::size_t>(i)] =
                 nextEv[static_cast<std::size_t>(i)];
@@ -366,8 +725,6 @@ ShardedEventKernel::runRounds(bool bounded, Cycles limit)
                 }
             }
         }
-        // Lane i may execute strictly below the earliest time any
-        // other lane could still send to it.
         for (int i = 0; i < n; ++i) {
             Cycles target = noBound;
             for (int j = 0; j < n; ++j) {
@@ -385,17 +742,12 @@ ShardedEventKernel::runRounds(bool bounded, Cycles limit)
             }
             if (bounded && (target == noBound || target > limit))
                 target = limit + 1;
-            // Never run past an unsampled timeline tick. The lane
-            // holding minNext keeps target > minNext either way
-            // (tickAt was advanced past minNext above), so progress
-            // survives the cap.
             if (tl && tickAt < target)
                 target = tickAt;
             roundTarget[static_cast<std::size_t>(i)] = target;
         }
 
-        // 3. Execute. The crew only earns its keep when two or more
-        //    lanes have work this round.
+        // 3. Execute — every lane, runnable or not.
         const bool parallel = parallelAllowed && activeLanes >= 2;
         clock::time_point roundStart;
         if (prof)
@@ -403,6 +755,7 @@ ShardedEventKernel::runRounds(bool bounded, Cycles limit)
         executePhase(parallel);
         if (parallel)
             ++st.parallelRounds;
+        st.laneDispatches += static_cast<std::uint64_t>(n);
         const std::uint64_t roundNs =
             prof ? elapsedNs(roundStart, clock::now()) : 0;
 
@@ -475,30 +828,81 @@ ShardedEventKernel::runRounds(bool bounded, Cycles limit)
                        "sharded kernel made no progress in a round ",
                        "(undeclared cross-lane edge?)");
 
-        // Stream this round's trace records to the observer in
-        // canonical merged order. Single-threaded here between
-        // barriers; a no-op without a deferred observer.
         if (probe_)
             probe_->trace.flushObserver();
     }
 
-    // Records stamped since the last completed round (or before a
-    // run that drained immediately) still need delivering.
-    if (probe_)
-        probe_->trace.flushObserver();
+    // A later sparse run must not mistake the full-lane list for a
+    // real previous dispatch.
+    dispatch_.clear();
+}
 
-    if (prof) {
-        profile_.wallNs += elapsedNs(wallStart, clock::now());
-        profile_.rounds = st.rounds;
-        profile_.parallelRounds = st.parallelRounds;
+void
+ShardedEventKernel::verifyHorizons(bool bounded, Cycles limit,
+                                   TimelineSampler *tl,
+                                   Cycles tickAt) const
+{
+    const int n = laneCount();
+    std::vector<Cycles> bound(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        bound[static_cast<std::size_t>(i)] =
+            nextEv_[static_cast<std::size_t>(i)];
+    for (bool changed = true; changed;) {
+        changed = false;
+        for (int i = 0; i < n; ++i) {
+            Cycles b = bound[static_cast<std::size_t>(i)];
+            for (int j = 0; j < n; ++j) {
+                if (j == i)
+                    continue;
+                const Cycles look =
+                    minLook[static_cast<std::size_t>(j) *
+                                lanes_.size() +
+                            static_cast<std::size_t>(i)];
+                if (look == noBound)
+                    continue;
+                b = std::min(
+                    b, satAdd(bound[static_cast<std::size_t>(j)],
+                              look));
+            }
+            if (b < bound[static_cast<std::size_t>(i)]) {
+                bound[static_cast<std::size_t>(i)] = b;
+                changed = true;
+            }
+        }
     }
-
-    if (bounded) {
-        for (int i = 0; i < n; ++i)
-            lane(i).advanceClockTo(limit);
-        return limit;
+    for (int i = 0; i < n; ++i) {
+        const auto ii = static_cast<std::size_t>(i);
+        // Untouched sparse entries sit at noBound == noPendingEvent,
+        // exactly where the dense iteration leaves an unreachable
+        // empty lane.
+        VIRTSIM_ASSERT(bound_[ii] == bound[ii],
+                       "sparse LBTS bound for lane ", i, " (",
+                       bound_[ii], ") != dense fixed point (",
+                       bound[ii], ")");
+        if (nextEv_[ii] == noPendingEvent)
+            continue; // elided: no target computed, none needed
+        Cycles target = noBound;
+        for (int j = 0; j < n; ++j) {
+            if (j == i)
+                continue;
+            const Cycles look =
+                minLook[static_cast<std::size_t>(j) * lanes_.size() +
+                        ii];
+            if (look == noBound)
+                continue;
+            target = std::min(
+                target,
+                satAdd(bound[static_cast<std::size_t>(j)], look));
+        }
+        if (bounded && (target == noBound || target > limit))
+            target = limit + 1;
+        if (tl && tickAt < target)
+            target = tickAt;
+        VIRTSIM_ASSERT(roundTarget[ii] == target,
+                       "sparse round target for lane ", i, " (",
+                       roundTarget[ii], ") != dense target (", target,
+                       ")");
     }
-    return now();
 }
 
 void
@@ -528,25 +932,41 @@ ShardedEventKernel::runLane(int i)
 }
 
 void
+ShardedEventKernel::drainDispatch()
+{
+    const std::size_t total = dispatch_.size();
+    for (;;) {
+        const std::size_t k =
+            dispatchNext_.fetch_add(1, std::memory_order_relaxed);
+        if (k >= total)
+            return;
+        runLane(dispatch_[k]);
+    }
+}
+
+void
 ShardedEventKernel::executePhase(bool parallel)
 {
-    const int n = laneCount();
     if (!parallel) {
-        for (int i = 0; i < n; ++i)
+        for (int i : dispatch_)
             runLane(i);
         return;
     }
 
     startCrew();
+    dispatchNext_.store(0, std::memory_order_relaxed);
     {
         std::lock_guard<std::mutex> lock(crewMutex);
-        crewRunning = n - 1;
+        crewRunning = static_cast<int>(crew.size());
         ++crewGen;
     }
     crewStart.notify_all();
-    // Lane 0 runs on the calling thread while the crew covers lanes
-    // 1..n-1.
-    runLane(0);
+    // The coordinator thread pulls lanes alongside the crew instead
+    // of idling at the barrier.
+    drainDispatch();
+    // Wait for every worker, not merely for the list to drain: a
+    // worker between its last pop and its check-out must not overlap
+    // the coordinator mutating next round's dispatch state.
     std::unique_lock<std::mutex> lock(crewMutex);
     crewDone.wait(lock, [this] { return crewRunning == 0; });
 }
@@ -557,9 +977,16 @@ ShardedEventKernel::startCrew()
     if (!crew.empty())
         return;
     const int n = laneCount();
-    crew.reserve(static_cast<std::size_t>(n - 1));
-    for (int i = 1; i < n; ++i)
-        crew.emplace_back([this, i] { workerLoop(i); });
+    const unsigned hwRaw = std::thread::hardware_concurrency();
+    const int hw = hwRaw ? static_cast<int>(hwRaw) : 1;
+    // Sized by the host, not the lane count: a 256-lane fleet on an
+    // 8-way box gets 7 workers plus the coordinator, not 255 idle
+    // threads. At least one worker so parallel rounds exercise real
+    // cross-thread execution even on a single-core host.
+    const int workers = std::max(1, std::min(n, hw) - 1);
+    crew.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i)
+        crew.emplace_back([this] { workerLoop(); });
 }
 
 void
@@ -580,7 +1007,7 @@ ShardedEventKernel::stopCrew()
 }
 
 void
-ShardedEventKernel::workerLoop(int laneIdx)
+ShardedEventKernel::workerLoop()
 {
     std::uint64_t seenGen = 0;
     for (;;) {
@@ -593,7 +1020,7 @@ ShardedEventKernel::workerLoop(int laneIdx)
                 return;
             seenGen = crewGen;
         }
-        runLane(laneIdx);
+        drainDispatch();
         bool last = false;
         {
             std::lock_guard<std::mutex> lock(crewMutex);
@@ -611,6 +1038,8 @@ ShardedEventKernel::clear()
         q->clear();
     for (Mailbox &mb : mail)
         mb.msgs.clear();
+    for (auto &td : touchedDst_)
+        td.clear();
 }
 
 void
@@ -622,6 +1051,7 @@ ShardedEventKernel::reset()
     st.rounds = 0;
     st.parallelRounds = 0;
     st.crossMsgs = 0;
+    st.laneDispatches = 0;
     for (LaneStats &ls : st.lanes)
         ls = LaneStats{};
     if (profileEnabled_)
@@ -651,8 +1081,18 @@ ShardedEventKernel::publishStats(MetricsRegistry &metrics) const
     set("shard.rounds", st.rounds);
     set("shard.parallel_rounds", st.parallelRounds);
     set("shard.cross_msgs", st.crossMsgs);
+    set("shard.lane_dispatches", st.laneDispatches);
+    std::uint64_t active = 0;
     for (std::size_t i = 0; i < st.lanes.size(); ++i) {
         const LaneStats &ls = st.lanes[i];
+        // A lane that never held an event, never stalled and never
+        // received a message has nothing to say; at fleet scale most
+        // lanes of a generously sized kernel are exactly that, and
+        // 256 all-zero six-counter blocks would drown the export.
+        if (ls.events == 0 && ls.advances == 0 && ls.stalls == 0 &&
+            ls.msgsIn == 0 && ls.maxHorizonLag == 0)
+            continue;
+        ++active;
         const std::string p = "shard.lane" + std::to_string(i);
         set(p + ".events", ls.events);
         set(p + ".advances", ls.advances);
@@ -664,11 +1104,36 @@ ShardedEventKernel::publishStats(MetricsRegistry &metrics) const
         set(p + ".events_per_advance_x100",
             ls.advances == 0 ? 0 : ls.events * 100 / ls.advances);
     }
+    set("shard.lanes_active", active);
 }
 
 void
 ShardedEventKernel::registerGauges(TimelineSampler &tl)
 {
+    // Aggregates first: these stay a handful of series at any lane
+    // count, so fleet-scale kernels keep shard health on the
+    // timeline without per-lane flooding.
+    tl.addGauge("shard.lanes_live", [this] {
+        std::int64_t live = 0;
+        for (const auto &q : lanes_)
+            live += q->pending() > 0 ? 1 : 0;
+        return live;
+    });
+    tl.addGauge("shard.stall_total", [this] {
+        std::uint64_t s = 0;
+        for (const LaneStats &ls : st.lanes)
+            s += ls.stalls;
+        return static_cast<std::int64_t>(s);
+    });
+    tl.addGauge("shard.lag_max", [this] {
+        const Cycles front = now();
+        Cycles lag = 0;
+        for (const auto &q : lanes_)
+            lag = std::max(lag, front - q->now());
+        return static_cast<std::int64_t>(lag);
+    });
+    if (laneCount() > perLaneGaugeCap)
+        return;
     for (int i = 0; i < laneCount(); ++i) {
         const std::string p = "shard.lane" + std::to_string(i);
         EventQueue *q = lanes_[static_cast<std::size_t>(i)].get();

@@ -37,6 +37,37 @@
  *     target > nextEvent because every cross-lane lookahead is
  *     positive.
  *
+ * The coordinator is *sparse*: per-round cost is O(active lanes +
+ * traffic edges), not O(lanes^2), so a 256-lane fleet with a dozen
+ * busy lanes pays for a dozen. Concretely:
+ *
+ *  - The lookahead matrix is flattened once per run into per-lane
+ *    in/out adjacency lists (LaneEdge, sim/channel.hh); the LBTS
+ *    fixed point is computed by worklist relaxation over those edges
+ *    seeded from the lanes that hold events. Min-plus relaxation has
+ *    a unique least fixed point, so the worklist result is
+ *    byte-identical to the dense iteration (assert-checked every
+ *    round in debug builds, and on demand via
+ *    enableHorizonCrossCheck()).
+ *  - The mailbox merge visits only (src, dst) pairs that actually
+ *    buffered messages this round: each sending lane privately
+ *    records the destinations it touched, and the coordinator drains
+ *    exactly those, still in (src asc, dst asc, send order).
+ *  - Next-event times are cached and refreshed only for lanes that
+ *    ran or received a merged message — the only ways a lane's queue
+ *    legally changes during a run.
+ *  - Idle lanes are elided: a lane whose next event is at or beyond
+ *    its round target is neither handed to a worker nor counted as a
+ *    stall. The worker crew itself is sized by the host's core
+ *    count, not the lane count, and drains the runnable-lane list
+ *    work-stealing style.
+ *
+ * The legacy dense coordinator survives as a reference
+ * implementation (VIRTSIM_SHARD_DENSE=1, or setDenseCoordinator());
+ * it produces byte-identical modelled results and exists for
+ * differential tests and as the baseline the fleet-scale benchmarks
+ * measure against.
+ *
  * Determinism is absolute, not statistical: mailboxes are drained in
  * declaration order before any lane runs, each lane is itself a
  * deterministic (time, seq) total order, and horizon computation
@@ -62,6 +93,7 @@
 #ifndef VIRTSIM_SIM_SHARD_HH
 #define VIRTSIM_SIM_SHARD_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -182,6 +214,25 @@ class ShardedEventKernel
 
     const ShardProfile &shardProfile() const { return profile_; }
 
+    /**
+     * Switch to the legacy dense O(lanes^2) coordinator (reference
+     * implementation). Modelled results and lane statistics are
+     * byte-identical either way; only wall-clock cost and execution
+     * counters (parallelRounds, laneDispatches) may differ. Also
+     * selectable via VIRTSIM_SHARD_DENSE=1 for benchmarks.
+     */
+    void setDenseCoordinator(bool dense) { dense_ = dense; }
+    bool denseCoordinator() const { return dense_; }
+
+    /**
+     * Recompute every round's horizons with the dense fixed point and
+     * assert the sparse worklist result is identical (bounds and
+     * targets). Always on in debug (!NDEBUG) builds; this switch
+     * exists so differential tests can force the check in release
+     * builds too.
+     */
+    void enableHorizonCrossCheck() { crossCheck_ = true; }
+
     /** @name Shard health telemetry */
     ///@{
     struct LaneStats
@@ -198,6 +249,13 @@ class ShardedEventKernel
         std::uint64_t rounds = 0;         ///< synchronization rounds
         std::uint64_t parallelRounds = 0; ///< rounds using the crew
         std::uint64_t crossMsgs = 0;      ///< total cross-lane sends
+        /** Lane executions handed to the execute phase, summed over
+         *  rounds. The sparse coordinator's elision shows up here:
+         *  laneDispatches / rounds is the mean number of *runnable*
+         *  lanes per round, far below laneCount() on a mostly idle
+         *  fleet (the dense coordinator always dispatches every
+         *  lane). */
+        std::uint64_t laneDispatches = 0;
         std::vector<LaneStats> lanes;
     };
 
@@ -208,18 +266,31 @@ class ShardedEventKernel
      * counters. Explicit opt-in, like publishSweepPoolStats(): lane
      * counts are a host-side execution detail, so they are never
      * mixed into per-testbed snapshots (which must stay byte-identical
-     * across VIRTSIM_SHARDS).
+     * across VIRTSIM_SHARDS). Per-lane counter rows are emitted only
+     * for lanes that did anything — at fleet scale most lanes of a
+     * generously sized kernel stay empty, and 256 all-zero rows would
+     * drown the export; "shard.lanes_active" carries the count of
+     * emitted rows.
      */
     void publishStats(MetricsRegistry &metrics) const;
 
     /**
-     * Register per-lane gauges (queue depth, clock lag behind the
-     * front lane) with a timeline sampler. Opt-in for the same reason
-     * as publishStats: lane topology is a host-side execution detail
-     * that must not leak into exports meant to be byte-identical
-     * across VIRTSIM_SHARDS.
+     * Register shard-health gauges with a timeline sampler. Opt-in
+     * for the same reason as publishStats: lane topology is a
+     * host-side execution detail that must not leak into exports
+     * meant to be byte-identical across VIRTSIM_SHARDS.
+     *
+     * Always registers three aggregate gauges (shard.lanes_live,
+     * shard.stall_total, shard.lag_max); the per-lane trio (depth,
+     * lag, stalls) is added only when laneCount() <=
+     * perLaneGaugeCap — a 256-lane fleet must not flood the timeline
+     * with 768 per-lane series.
      */
     void registerGauges(TimelineSampler &tl);
+
+    /** Largest lane count for which registerGauges() emits per-lane
+     *  series in addition to the aggregates. */
+    static constexpr int perLaneGaugeCap = 16;
     ///@}
 
     /** Lane the calling thread is currently executing events for, or
@@ -264,22 +335,49 @@ class ShardedEventKernel
     void addLookahead(int srcLane, int dstLane, Cycles look,
                       const std::string &channelName);
 
+    /** Flatten the lookahead matrix into the in/out adjacency lists.
+     *  Called lazily at run start after any channel declaration. */
+    void rebuildEdges();
+
+    /** Re-read lane i's next event time into the cache, keeping the
+     *  live-lane set consistent. */
+    void refreshLane(int i);
+
     /** The round loop shared by run() and runUntil(). */
     Cycles runRounds(bool bounded, Cycles limit);
 
-    /** Execute one round's lane phase (parallel or serial),
-     *  filling roundFired. */
+    /** One full run's round loop, sparse coordinator. */
+    void runSparseRounds(bool bounded, Cycles limit,
+                         TimelineSampler *tl, Cycles tickAt,
+                         bool prof);
+
+    /** One full run's round loop, dense reference coordinator. */
+    void runDenseRounds(bool bounded, Cycles limit,
+                        TimelineSampler *tl, Cycles tickAt, bool prof);
+
+    /** Dense recomputation of this round's bounds and targets,
+     *  asserted equal to the sparse worklist result. */
+    void verifyHorizons(bool bounded, Cycles limit,
+                        TimelineSampler *tl, Cycles tickAt) const;
+
+    /** Execute one round's lane phase over dispatch_ (parallel or
+     *  serial), filling roundFired for the dispatched lanes. */
     void executePhase(bool parallel);
+
+    /** Pop and run dispatch_ entries until the list is drained.
+     *  Called concurrently by the coordinator and every worker. */
+    void drainDispatch();
 
     /** Run one lane up to its round target under its LaneScope,
      *  recording fired count (and busy time when profiling). */
     void runLane(int i);
 
-    /** @name Worker crew (lanes 1..N-1; lane 0 runs on the caller) */
+    /** @name Worker crew (sized by host cores, not lanes; the
+     *  coordinator thread drains the dispatch list alongside it) */
     ///@{
     void startCrew();
     void stopCrew();
-    void workerLoop(int laneIdx);
+    void workerLoop();
     ///@}
 
     std::vector<std::unique_ptr<EventQueue>> lanes_;
@@ -290,6 +388,47 @@ class ShardedEventKernel
      *  critical-channel attribution in the shard profile. */
     std::vector<std::string> lookChannel;
     std::vector<Mailbox> mail;   ///< lane x lane mailboxes
+
+    /** @name Sparse channel graph (rebuilt from minLook on demand) */
+    ///@{
+    std::vector<std::vector<LaneEdge>> inEdges_;
+    std::vector<std::vector<LaneEdge>> outEdges_;
+    bool edgesDirty_ = true;
+    ///@}
+
+    /** Destinations lane s buffered a first message for this round:
+     *  written only by lane s's thread (mailbox discipline), read and
+     *  cleared only by the coordinator between rounds. */
+    std::vector<std::vector<int>> touchedDst_;
+
+    /** @name Cached lane state (coordinator-owned)
+     *  nextEv_ mirrors every lane's nextEventTime(); liveLanes_ is
+     *  the unordered set of lanes with a pending event, with
+     *  livePos_/laneLive_ the swap-erase bookkeeping. Valid because a
+     *  lane's queue only changes by running, by a merged message, or
+     *  by setup between runs — all refresh points. */
+    ///@{
+    std::vector<Cycles> nextEv_;
+    std::vector<int> liveLanes_;
+    std::vector<int> livePos_;
+    std::vector<unsigned char> laneLive_;
+    ///@}
+
+    /** @name Worklist-relaxation scratch (bound_ stays noBound
+     *  everywhere between rounds; touchedBound_ undoes each round) */
+    ///@{
+    std::vector<Cycles> bound_;
+    std::vector<int> work_;
+    std::vector<unsigned char> inWork_;
+    std::vector<int> touchedBound_;
+    ///@}
+
+    /** Runnable lanes this round, ascending; doubles as the merge
+     *  scan list next round (only dispatched lanes can have sent). */
+    std::vector<int> dispatch_;
+    std::vector<unsigned char> dispatched_;
+    /** Next dispatch_ index to claim (work-stealing pop). */
+    std::atomic<std::size_t> dispatchNext_{0};
 
     /** Per-round scratch, owned by the coordinator; workers read
      *  their own targets slot and write their own fired slot. */
@@ -303,6 +442,8 @@ class ShardedEventKernel
     Probe *probe_ = nullptr;
     ShardProfile profile_;
     bool profileEnabled_ = false;
+    bool dense_ = false;
+    bool crossCheck_ = false;
 
     /** Crew synchronization: generation-counted round barrier. */
     std::mutex crewMutex;

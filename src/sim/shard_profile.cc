@@ -29,6 +29,18 @@ ShardProfile::busyNsTotal() const
     return n;
 }
 
+std::size_t
+ShardProfile::lanesProfiled() const
+{
+    std::size_t n = 0;
+    for (const Lane &ln : lanes) {
+        if (ln.busyNs != 0 || ln.stallNs != 0 || ln.events != 0 ||
+            ln.stallRounds != 0)
+            ++n;
+    }
+    return n;
+}
+
 double
 ShardProfile::speedupEstimate() const
 {
@@ -42,18 +54,28 @@ std::string
 ShardProfile::toJson() const
 {
     const std::size_t n = lanes.size();
-    std::string out = "{\"schema\":\"virtsim-shard-profile-1\"";
+    std::string out = "{\"schema\":\"virtsim-shard-profile-2\"";
     out += ",\"lanes\":" + std::to_string(n);
+    out += ",\"lanes_profiled\":" + std::to_string(lanesProfiled());
     out += ",\"rounds\":" + std::to_string(rounds);
     out += ",\"parallel_rounds\":" + std::to_string(parallelRounds);
     out += ",\"wall_ns\":" + std::to_string(wallNs);
     out += ",\"busy_ns_total\":" + std::to_string(busyNsTotal());
     out += ",\"speedup_estimate\":" + formatFixed(speedupEstimate());
     out += ",\"lane_detail\":[";
+    // Sparse, like the coordinator itself: a lane that never ran and
+    // never stalled contributes one spare-capacity row's worth of
+    // nothing — on a 256-lane fleet the idle tail would dwarf the
+    // signal. Rows stay in lane order and carry their lane id.
+    bool first = true;
     for (std::size_t i = 0; i < n; ++i) {
-        if (i)
-            out += ",";
         const Lane &ln = lanes[i];
+        if (ln.busyNs == 0 && ln.stallNs == 0 && ln.events == 0 &&
+            ln.stallRounds == 0)
+            continue;
+        if (!first)
+            out += ",";
+        first = false;
         out += "{\"lane\":" + std::to_string(i);
         out += ",\"busy_ns\":" + std::to_string(ln.busyNs);
         out += ",\"wait_ns\":" + std::to_string(waitNs(i));

@@ -73,13 +73,21 @@ struct ShardProfile
     /** Aggregate busy time across lanes. */
     std::uint64_t busyNsTotal() const;
 
+    /** Lanes that ever ran an event or stalled — the rows toJson()
+     *  emits. A fleet-scale kernel keeps spare lanes; their all-zero
+     *  splits are elided from the export just as the coordinator
+     *  elides them from the rounds. */
+    std::size_t lanesProfiled() const;
+
     /** Achieved parallelism: total busy time over wall time — the
      *  speedup this run realized over a serial execution of the same
      *  event work (ignoring per-round coordination the serial path
      *  would not pay). */
     double speedupEstimate() const;
 
-    /** Machine-readable export (schema "virtsim-shard-profile-1"). */
+    /** Machine-readable export (schema "virtsim-shard-profile-2":
+     *  sparse lane_detail — all-zero lanes elided, rows keyed by
+     *  their "lane" field). */
     std::string toJson() const;
 };
 

@@ -13,6 +13,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
+#include <random>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -225,6 +227,114 @@ TEST(ShardHorizon, EmptyLaneStillBoundsDownstreamLanes)
     EXPECT_EQ(laneCOrder[1], 10000u);
 }
 
+TEST(ShardSparseLbts, MatchesDenseOnRandomChannelGraphs)
+{
+    // Differential check of the sparse coordinator: on randomized
+    // channel graphs and message cascades, the worklist LBTS with
+    // idle-lane elision must reproduce the dense reference exactly —
+    // per-lane firing logs, final clocks, and the full round/stall
+    // accounting. The sparse run additionally arms the per-round
+    // horizon cross-check, so every intermediate round's bounds and
+    // targets are asserted equal to the dense fixed point, not just
+    // the end state.
+    for (const std::uint64_t seed :
+         {1ull, 7ull, 42ull, 1337ull, 0xdeadbeefull}) {
+        auto runOnce = [seed](bool dense) {
+            std::mt19937_64 rng(seed);
+            const int n = 3 + static_cast<int>(rng() % 6); // 3..8
+            ShardedEventKernel kern(n);
+            kern.setDenseCoordinator(dense);
+            if (!dense)
+                kern.enableHorizonCrossCheck();
+            for (int i = 0; i < n; ++i)
+                kern.assignShard(i, i);
+            // Random sparse digraph: ~1/3 of the ordered pairs get a
+            // channel, lookaheads in [50, 550).
+            std::vector<std::vector<ShardChannel *>> out(
+                static_cast<std::size_t>(n));
+            for (int a = 0; a < n; ++a) {
+                for (int b = 0; b < n; ++b) {
+                    if (a == b || rng() % 100 >= 35)
+                        continue;
+                    const Cycles look = 50 + rng() % 500;
+                    out[a].push_back(&kern.channel(
+                        "t." + std::to_string(a) + "." +
+                            std::to_string(b),
+                        a, b, look));
+                }
+            }
+            // Workload: every firing records (lane, time); cascades
+            // are pre-drawn at construction so both coordinator paths
+            // build the byte-identical event population.
+            std::vector<std::vector<Cycles>> log(
+                static_cast<std::size_t>(n));
+            std::function<std::function<void()>(int, Cycles, int)>
+                makeFire = [&](int lane, Cycles t,
+                               int depth) -> std::function<void()> {
+                ShardChannel *ch = nullptr;
+                Cycles arrival = 0;
+                std::function<void()> next;
+                auto &outs = out[static_cast<std::size_t>(lane)];
+                if (depth > 0 && !outs.empty() && rng() % 100 < 70) {
+                    ch = outs[rng() % outs.size()];
+                    arrival = t + ch->lookahead() + rng() % 400;
+                    next = makeFire(ch->dstLane(), arrival, depth - 1);
+                }
+                return [&log, lane, t, ch, arrival,
+                        next = std::move(next)] {
+                    log[static_cast<std::size_t>(lane)].push_back(t);
+                    if (ch)
+                        ch->send(arrival, next);
+                };
+            };
+            for (int i = 0; i < n; ++i) {
+                if (i != 0 && rng() % 100 >= 80)
+                    continue; // leave some lanes idle (elision path)
+                const int roots = 2 + static_cast<int>(rng() % 4);
+                for (int r = 0; r < roots; ++r) {
+                    const Cycles t = 10 + rng() % 5000;
+                    kern.lane(i).scheduleAt(t, makeFire(i, t, 3));
+                }
+            }
+            kern.run();
+            std::vector<Cycles> laneNow;
+            for (int i = 0; i < n; ++i)
+                laneNow.push_back(kern.lane(i).now());
+            return std::tuple(std::move(log), std::move(laneNow),
+                              kern.stats());
+        };
+        const auto [denseLog, denseNow, denseStats] = runOnce(true);
+        const auto [sparseLog, sparseNow, sparseStats] =
+            runOnce(false);
+        EXPECT_EQ(denseLog, sparseLog) << "seed=" << seed;
+        EXPECT_EQ(denseNow, sparseNow) << "seed=" << seed;
+        EXPECT_EQ(denseStats.rounds, sparseStats.rounds)
+            << "seed=" << seed;
+        EXPECT_EQ(denseStats.crossMsgs, sparseStats.crossMsgs)
+            << "seed=" << seed;
+        ASSERT_EQ(denseStats.lanes.size(), sparseStats.lanes.size());
+        for (std::size_t i = 0; i < denseStats.lanes.size(); ++i) {
+            const auto &d = denseStats.lanes[i];
+            const auto &s = sparseStats.lanes[i];
+            EXPECT_EQ(d.events, s.events) << "seed=" << seed
+                                          << " lane=" << i;
+            EXPECT_EQ(d.advances, s.advances) << "seed=" << seed
+                                              << " lane=" << i;
+            EXPECT_EQ(d.stalls, s.stalls) << "seed=" << seed
+                                          << " lane=" << i;
+            EXPECT_EQ(d.msgsIn, s.msgsIn) << "seed=" << seed
+                                          << " lane=" << i;
+            EXPECT_EQ(d.maxHorizonLag, s.maxHorizonLag)
+                << "seed=" << seed << " lane=" << i;
+        }
+        // The dense coordinator dispatches every lane in every round
+        // that executes; the sparse one only the runnable subset, so
+        // its dispatch count can never exceed the reference's.
+        EXPECT_LE(sparseStats.laneDispatches,
+                  denseStats.laneDispatches);
+    }
+}
+
 TEST(ShardChannelDeath, SameLaneSendViolatingLookaheadDies)
 {
     ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
@@ -323,10 +433,59 @@ TEST(ShardTelemetry, PublishesCountersAndGauges)
     TimelineSampler tl;
     const std::size_t before = tl.gaugeCount();
     kern.registerGauges(tl);
-    EXPECT_EQ(tl.gaugeCount(), before + 2 * 3);
+    // Three aggregates plus the per-lane trio (2 lanes is far below
+    // the per-lane cap).
+    EXPECT_EQ(tl.gaugeCount(), before + 3 + 2 * 3);
+    EXPECT_GE(tl.findGauge("shard.lanes_live"), 0);
+    EXPECT_GE(tl.findGauge("shard.stall_total"), 0);
+    EXPECT_GE(tl.findGauge("shard.lag_max"), 0);
     EXPECT_GE(tl.findGauge("shard.lane0.depth"), 0);
     EXPECT_GE(tl.findGauge("shard.lane1.lag"), 0);
     EXPECT_GE(tl.findGauge("shard.lane1.stalls"), 0);
+}
+
+TEST(ShardTelemetry, PerLaneGaugesCappedAtHighLaneCounts)
+{
+    ShardedEventKernel kern(ShardedEventKernel::perLaneGaugeCap + 1);
+    TimelineSampler tl;
+    const std::size_t before = tl.gaugeCount();
+    kern.registerGauges(tl);
+    // Aggregates only: a fleet-scale kernel must not flood the
+    // timeline with hundreds of per-lane series.
+    EXPECT_EQ(tl.gaugeCount(), before + 3);
+    EXPECT_LT(tl.findGauge("shard.lane0.depth"), 0);
+}
+
+TEST(ShardTelemetry, PublishSkipsIdleLanes)
+{
+    // 8 lanes, only two of them ever do anything: the idle six must
+    // not publish all-zero counter rows.
+    ShardedEventKernel kern(8);
+    kern.assignShard(deviceShard, 0);
+    kern.assignShard(cpuShard(0), 1);
+    ShardChannel &req = kern.channel("t.req", deviceShard,
+                                     cpuShard(0), 100);
+    int fired = 0;
+    kern.lane(0).scheduleAt(10, [&] {
+        req.send(200, [&fired] { ++fired; });
+    });
+    kern.run();
+    EXPECT_EQ(fired, 1);
+
+    MetricsRegistry reg;
+    kern.publishStats(reg);
+    const MetricsSnapshot snap = reg.snapshot();
+    std::uint64_t activeRows = 0;
+    bool sawIdleLane = false;
+    for (const auto &row : snap.counters) {
+        if (row.name == "shard.lanes_active")
+            activeRows = row.value;
+        if (row.name.rfind("shard.lane7.", 0) == 0 ||
+            row.name.rfind("shard.lane4.", 0) == 0)
+            sawIdleLane = true;
+    }
+    EXPECT_EQ(activeRows, 2u);
+    EXPECT_FALSE(sawIdleLane);
 }
 
 TEST(ShardSweep, ShardedRunInsideSweepSerializes)
@@ -505,9 +664,10 @@ TEST(FleetObservability, ShardProfileJsonExports)
     EXPECT_GT(r.parallelRounds, 0u);
     const std::string json = slurp("/tmp/fleet_prof.fleet.json");
     ASSERT_FALSE(json.empty());
-    EXPECT_NE(json.find("\"virtsim-shard-profile-1\""),
+    EXPECT_NE(json.find("\"virtsim-shard-profile-2\""),
               std::string::npos);
     EXPECT_NE(json.find("\"lanes\":4"), std::string::npos);
+    EXPECT_NE(json.find("\"lanes_profiled\""), std::string::npos);
     EXPECT_NE(json.find("\"lane_detail\""), std::string::npos);
     EXPECT_NE(json.find("\"critical_channels\""), std::string::npos);
     EXPECT_NE(json.find("\"speedup_estimate\""), std::string::npos);
