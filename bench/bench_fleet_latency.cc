@@ -22,12 +22,20 @@
  * run breaches — this bench guards both directions: an SLO engine
  * that never fires is as broken as one that always does.
  *
+ * The overload scenario additionally arms the flight recorder
+ * (VIRTSIM_INCIDENTS=incidents): the SLO burn breach must freeze at
+ * least one incident whose report names the breached slo.* rule —
+ * guarding the trigger wiring, the window capture and the export in
+ * one pass.
+ *
  * Artifacts: virtsim-latency-1 JSON exports land in the working
  * directory (latency_nominal.fleet.json / latency_overload.fleet.json)
- * for CI upload and scripts/validate_latency.py.
+ * and virtsim-incident-1 reports under incidents/ for CI upload,
+ * scripts/validate_latency.py and scripts/validate_incident.py.
  */
 
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -98,6 +106,9 @@ main()
         runScenario("nominal", nominal, lanes, freq);
 
     FleetConfig over;
+    // Freeze forensic context around the breach: one incident per
+    // trigger instant, windows annotated into any VIRTSIM_TRACE.
+    setenv("VIRTSIM_INCIDENTS", "incidents", 1);
     over.transactionsPerConn = 150;
     over.openLoop = true;
     // Per-CPU offered load: connsPerCpu / meanInterarrivalUs
@@ -109,18 +120,32 @@ main()
         runScenario("overload", over, lanes, freq);
 
     const std::string overJson = slurp("latency_overload.fleet.json");
+
+    // At least one exported incident must name the breached SLO rule
+    // as a trigger source and carry a nonempty critical path.
+    bool incidentNamesRule = false;
+    std::error_code ec;
+    for (const auto &de :
+         std::filesystem::directory_iterator("incidents", ec)) {
+        const std::string body = slurp(de.path().string());
+        if (contains(body, "\"schema\":\"virtsim-incident-1\"") &&
+            contains(body, "slo.rtt_p99") &&
+            !contains(body, "\"steps\":[]")) {
+            incidentNamesRule = true;
+        }
+    }
     const bool nominalPass =
         rNominal.sloBreaches == 0 && rNominal.anomalies == 0;
     const bool overloadTripped =
         rOver.sloBreaches > 0 && rOver.anomalies > 0 &&
         contains(overJson, "\"name\":\"rtt_p99\"") &&
-        contains(overJson, "\"pass\":false");
+        contains(overJson, "\"pass\":false") && incidentNamesRule;
 
     std::cout << "Nominal fleet meets the SLO (no breach, no"
                  " anomaly): "
               << (nominalPass ? "yes" : "NO") << "\n"
               << "Overload trips the SLO (breach + named"
-                 " slo.rtt_p99 anomaly): "
+                 " slo.rtt_p99 anomaly + incident report): "
               << (overloadTripped ? "yes" : "NO") << "\n";
 
     return (nominalPass && overloadTripped) ? 0 : 1;

@@ -19,6 +19,7 @@
 #include "core/testbed.hh"
 #include "hv/world_switch.hh"
 #include "sim/event_queue.hh"
+#include "sim/flight.hh"
 #include "sim/latency.hh"
 #include "sim/probe.hh"
 #include "sim/sweep.hh"
@@ -306,6 +307,25 @@ BM_DeadLatencyStamp(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 2000);
 }
 BENCHMARK(BM_DeadLatencyStamp);
+
+/** The dead-flight fast path: the flight-recorder tee fires on every
+ *  TraceSink push, so with no VIRTSIM_INCIDENTS armed record() must
+ *  stay one predicted branch per call (the tests assert the
+ *  allocation-free part). */
+void
+BM_DeadFlightStamp(benchmark::State &state)
+{
+    FlightRecorder fr; // never enabled
+    const TraceRecord r{0, 0, internTap("bench.deadflight"), 0,
+                        TraceKind::Instant, TraceCat::Op};
+    for (auto _ : state) {
+        for (int i = 0; i < 1000; ++i)
+            fr.record(r);
+        benchmark::DoNotOptimize(fr);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_DeadFlightStamp);
 
 /** The live stamp path: lane-local bucket increments on pre-sized
  *  arrays — the per-transaction observability cost a latency-tracked

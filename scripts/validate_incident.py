@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""Validate exported VIRTSIM_INCIDENTS reports.
+
+Usage: scripts/validate_incident.py FILE [FILE...]
+       scripts/validate_incident.py --dir DIR [--min-incidents N]
+
+Checks each file against the "virtsim-incident-1" schema and its
+structural invariants:
+
+  * the trigger instant lies inside the frozen window
+    (window.begin_cycles <= trigger.at_cycles <= window.end_cycles);
+  * the critical path is nonempty with consistent step intervals
+    (t0 <= t1, every step inside the window) and span equal to the
+    walk's extent;
+  * every blame_diff row satisfies
+    delta_cycles == incident_cycles - reference_cycles, and the rows
+    sum to the reported incident/reference totals;
+  * gauge samples are monotone in time and capped at window end;
+  * latency phase stats are internally consistent
+    (window_sum_cycles == 0 when window_count == 0).
+
+CI runs this over the fleet overload incident artifacts so a report
+that silently lost its forensic content (empty critical path, blame
+that does not reconcile) fails the build.
+
+Exit status: 0 when every file validates, 1 otherwise.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+REQUIRED_TOP = [
+    "schema", "world", "seq", "frequency_ghz", "window_us",
+    "trigger", "window", "critical_path", "blame", "reference",
+    "blame_diff", "gauges", "latency", "health",
+]
+REQUIRED_TRIGGER = ["at_cycles", "at_us", "sources"]
+REQUIRED_WINDOW = [
+    "begin_cycles", "begin_us", "end_cycles", "end_us", "clipped",
+    "truncated", "records",
+]
+REQUIRED_STEP = ["name", "track", "t0", "t1", "edge"]
+REQUIRED_DIFF_ROW = [
+    "name", "incident_cycles", "reference_cycles", "delta_cycles",
+]
+
+
+def validate(path):
+    errors = []
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: unreadable or invalid JSON: {e}"]
+
+    for key in REQUIRED_TOP:
+        if key not in doc:
+            errors.append(f"{path}: missing top-level key '{key}'")
+    if errors:
+        return errors
+
+    if doc["schema"] != "virtsim-incident-1":
+        errors.append(f"{path}: unknown schema '{doc['schema']}'")
+
+    trig = doc["trigger"]
+    for key in REQUIRED_TRIGGER:
+        if key not in trig:
+            errors.append(f"{path}: trigger missing '{key}'")
+    win = doc["window"]
+    for key in REQUIRED_WINDOW:
+        if key not in win:
+            errors.append(f"{path}: window missing '{key}'")
+    if errors:
+        return errors
+
+    if not trig["sources"]:
+        errors.append(f"{path}: trigger has no sources")
+    if not (win["begin_cycles"] <= trig["at_cycles"]
+            <= win["end_cycles"]):
+        errors.append(
+            f"{path}: trigger at {trig['at_cycles']} outside window "
+            f"[{win['begin_cycles']}, {win['end_cycles']}]")
+
+    crit = doc["critical_path"]
+    steps = crit.get("steps", [])
+    if not steps:
+        errors.append(f"{path}: critical path is empty")
+    lo, hi = None, None
+    for st in steps:
+        for key in REQUIRED_STEP:
+            if key not in st:
+                errors.append(
+                    f"{path}: critical-path step missing '{key}'")
+                break
+        else:
+            if st["t0"] > st["t1"]:
+                errors.append(
+                    f"{path}: critical-path step '{st['name']}' has "
+                    f"t0 {st['t0']} > t1 {st['t1']}")
+            if (st["t1"] < win["begin_cycles"] or
+                    st["t0"] > win["end_cycles"]):
+                errors.append(
+                    f"{path}: critical-path step '{st['name']}' "
+                    "outside the window")
+            lo = st["t0"] if lo is None else min(lo, st["t0"])
+            hi = st["t1"] if hi is None else max(hi, st["t1"])
+    if steps and lo is not None and crit.get("span_cycles") != hi - lo:
+        errors.append(
+            f"{path}: critical-path span {crit.get('span_cycles')} "
+            f"!= walk extent {hi - lo}")
+
+    diff = doc["blame_diff"]
+    inc_sum = 0
+    ref_sum = 0
+    for row in diff.get("rows", []):
+        for key in REQUIRED_DIFF_ROW:
+            if key not in row:
+                errors.append(
+                    f"{path}: blame_diff row missing '{key}'")
+                break
+        else:
+            want = row["incident_cycles"] - row["reference_cycles"]
+            if row["delta_cycles"] != want:
+                errors.append(
+                    f"{path}: blame_diff row '{row['name']}' delta "
+                    f"{row['delta_cycles']} != {want}")
+            inc_sum += row["incident_cycles"]
+            ref_sum += row["reference_cycles"]
+    if inc_sum != diff.get("incident_total_cycles"):
+        errors.append(
+            f"{path}: blame_diff incident rows sum to {inc_sum}, "
+            f"total says {diff.get('incident_total_cycles')}")
+    if ref_sum != diff.get("reference_total_cycles"):
+        errors.append(
+            f"{path}: blame_diff reference rows sum to {ref_sum}, "
+            f"total says {diff.get('reference_total_cycles')}")
+
+    for g in doc["gauges"]:
+        prev = -1
+        for sample in g.get("samples", []):
+            if not isinstance(sample, list) or len(sample) != 2:
+                errors.append(
+                    f"{path}: gauge '{g.get('name')}' has a "
+                    "malformed sample")
+                break
+            when = sample[0]
+            if when < prev:
+                errors.append(
+                    f"{path}: gauge '{g.get('name')}' timestamps "
+                    "not monotone")
+                break
+            if when > win["end_cycles"]:
+                errors.append(
+                    f"{path}: gauge '{g.get('name')}' sample past "
+                    "window end")
+                break
+            prev = when
+
+    for ph in doc["latency"].get("phases", []):
+        if ph.get("window_count", 0) == 0 and \
+                ph.get("window_sum_cycles", 0) != 0:
+            errors.append(
+                f"{path}: phase '{ph.get('phase')}' has cycles but "
+                "no samples")
+
+    if not errors:
+        print(f"{path}: OK (trigger {', '.join(trig['sources'])}, "
+              f"{win['records']} records, {len(steps)} critical-path "
+              f"steps, {len(diff.get('rows', []))} blame-diff rows)")
+    return errors
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("files", nargs="*")
+    ap.add_argument("--dir", help="validate every incident.*.json "
+                                  "under this directory")
+    ap.add_argument("--min-incidents", type=int, default=0,
+                    help="fail unless at least N incident files were "
+                         "found (use with --dir)")
+    args = ap.parse_args()
+
+    files = list(args.files)
+    if args.dir:
+        try:
+            files.extend(
+                sorted(os.path.join(args.dir, f)
+                       for f in os.listdir(args.dir)
+                       if f.startswith("incident.") and
+                       f.endswith(".json")))
+        except OSError as e:
+            print(f"validate_incident: {args.dir}: {e}",
+                  file=sys.stderr)
+            return 1
+    if not files and not args.min_incidents:
+        ap.error("no files given (pass FILE... or --dir DIR)")
+
+    all_errors = []
+    if len(files) < args.min_incidents:
+        all_errors.append(
+            f"expected >= {args.min_incidents} incident files, "
+            f"found {len(files)}")
+    for path in files:
+        all_errors.extend(validate(path))
+    for e in all_errors:
+        print(f"validate_incident: {e}", file=sys.stderr)
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

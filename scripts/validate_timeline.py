@@ -20,6 +20,7 @@ import sys
 REQUIRED_TOP = [
     "schema", "period_cycles", "frequency_ghz", "ticks",
     "dropped_samples", "series", "anomaly_count", "anomalies",
+    "anomalies_dropped",
 ]
 REQUIRED_SERIES = ["name", "track", "kind", "samples"]
 REQUIRED_ANOMALY = ["rule", "begin_cycles", "end_cycles", "peak"]

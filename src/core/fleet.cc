@@ -12,6 +12,7 @@
 #include "sim/attrib.hh"
 #include "sim/channel.hh"
 #include "sim/env.hh"
+#include "sim/flight.hh"
 #include "sim/latency.hh"
 #include "sim/log.hh"
 #include "sim/random.hh"
@@ -86,6 +87,21 @@ struct FleetWorld
      *  VIRTSIM_LATENCY). */
     bool latencyOn = false;
     SloEngine slo;
+
+    /** Incident forensics (VIRTSIM_INCIDENTS): the flight recorder
+     *  plus the causal span/edge taps the request path stamps so an
+     *  incident window reconstructs a nonempty critical path. The
+     *  client side stamps on a pseudo-track one past the last CPU. */
+    std::string incidentsDir;
+    FlightRecorder flight;
+    TapId queueTap;
+    TapId serveTap;
+
+    std::uint16_t
+    clientTrack() const
+    {
+        return static_cast<std::uint16_t>(cfg.nCpus);
+    }
 
     /** Open-loop arrival state, touched only by lane-0 events (and
      *  the setup thread): one RNG stream per connection plus the
@@ -201,6 +217,13 @@ struct FleetWorld
         // the tap-indexed metric arrays.
         armLatency();
 
+        // The incident critical path walks causal spans on the
+        // request path; intern their taps (and the wire-edge tap)
+        // before the freeze below.
+        queueTap = internTap("fleet.queue");
+        serveTap = internTap("fleet.serve");
+        edgeWireTap();
+
         // Warm the tap intern table and the stat-counter registry
         // from the setup thread (inject -> ack -> complete leaves the
         // LR array clean), then pre-size the metrics arrays: the
@@ -307,13 +330,19 @@ struct FleetWorld
         flamePath = envPath("VIRTSIM_FLAME");
         timelinePath = envPath("VIRTSIM_TIMELINE");
         shardProfilePath = envPath("VIRTSIM_SHARD_PROFILE");
+        incidentsDir = envPath("VIRTSIM_INCIDENTS");
         if (const auto hz = envPositiveCount("VIRTSIM_TIMELINE_HZ",
                                              std::uint64_t{1} << 40)) {
             timelineHz = static_cast<double>(*hz);
         }
+        // Incident forensics needs both the stamping tee (trace) and
+        // the barrier-tick maintenance hook (timeline), so arming it
+        // arms both.
+        const bool incidentsOn = !incidentsDir.empty();
 
         Probe &probe = mach->probe();
-        if (cfg.trace || !tracePath.empty() || !flamePath.empty()) {
+        if (cfg.trace || !tracePath.empty() || !flamePath.empty() ||
+            incidentsOn) {
             if (const auto cap = envPositiveCount(
                     "VIRTSIM_TRACE_CAPACITY", std::uint64_t{1} << 32))
                 probe.trace.setCapacity(
@@ -342,7 +371,7 @@ struct FleetWorld
         // also arms it: the SLO engine's burn windows and rolling
         // quantile gauges live in the sampling tick.
         if (!timelinePath.empty() || !tracePath.empty() ||
-            latencyOn) {
+            latencyOn || incidentsOn) {
             const Cycles period = std::max<Cycles>(
                 1,
                 mach->freq().cyclesFromSeconds(1.0 / timelineHz));
@@ -352,6 +381,41 @@ struct FleetWorld
         // export order) is stable.
         if (slo.armed())
             slo.installTimeline(probe.timeline, mach->freq());
+        if (incidentsOn) {
+            // enable() last: it sizes tick rows from the gauge count,
+            // so every registration (machine + SLO) must be done.
+            const double winUs =
+                envPositiveReal("VIRTSIM_INCIDENT_WINDOW_US", 1e9)
+                    .value_or(100.0);
+            const std::uint32_t icap = static_cast<std::uint32_t>(
+                envPositiveCount("VIRTSIM_INCIDENT_CAP",
+                                 std::uint64_t{1} << 20)
+                    .value_or(16));
+            flight.configure(
+                std::max<Cycles>(1, mach->freq().cycles(winUs)),
+                probe.timeline.period(), icap);
+            flight.bind(&probe.timeline,
+                        latencyOn ? &probe.latency : nullptr);
+            flight.prepareForParallel(lanes);
+            flight.enable();
+            probe.trace.setFlightRecorder(&flight);
+            FlightRecorder *fr = &flight;
+            probe.timeline.addPostSampleHook(
+                [fr](Cycles now) { fr->onSample(now); });
+            const TimelineSampler *tlp = &probe.timeline;
+            probe.timeline.setAnomalyHook(
+                [fr, tlp](Cycles now, std::uint32_t ri, bool open) {
+                    fr->onAnomaly(now, tlp->ruleName(ri), open);
+                });
+            if (slo.armed()) {
+                SloEngine *se = &slo;
+                slo.setBreachHook([fr, se](Cycles now,
+                                           std::size_t i) {
+                    fr->trigger(now, "slo." + se->specs()[i].name +
+                                         ".burn");
+                });
+            }
+        }
         if (cfg.trace || !tracePath.empty() || !metricsPath.empty() ||
             !flamePath.empty() || !timelinePath.empty()) {
             probe.profiler.prepareForParallel(lanes,
@@ -375,7 +439,16 @@ struct FleetWorld
                                      : nullptr;
         if (!tracePath.empty()) {
             exportChromeTrace(perTagPath(tracePath), mach->trace(),
-                              mach->freq(), "fleet", &tl, sp);
+                              mach->freq(), "fleet", &tl, sp,
+                              flight.enabled() ? &flight : nullptr);
+        }
+        if (!incidentsDir.empty() && flight.enabled()) {
+            flight.exportIncidents(incidentsDir, mach->freq(),
+                                   "fleet");
+            const std::string s =
+                renderIncidentSummary(flight, mach->freq());
+            if (!s.empty())
+                inform("\n", s);
         }
         if (!shardProfilePath.empty()) {
             exportShardProfile(perTagPath(shardProfilePath),
@@ -445,9 +518,16 @@ struct FleetWorld
     {
         const int cpu = conns[connIdx].cpu;
         const Cycles at = depart + wire;
+        // Open the client->server wire edge on the client's
+        // pseudo-track (stamped from lane 0/setup only, so one lane
+        // owns the track). The token rides the event chain and is
+        // redeemed on the server CPU's track, linking the two tracks
+        // in the incident window's causal graph.
+        const std::uint64_t token = mach->trace().edgeOut(
+            depart, edgeWireTap(), TraceCat::Io, clientTrack());
         req[static_cast<std::size_t>(cpu)]->send(
-            at, [this, connIdx, cpu, at] {
-                serveRequest(connIdx, cpu, at);
+            at, [this, connIdx, cpu, at, token] {
+                serveRequest(connIdx, cpu, at, token);
             });
     }
 
@@ -459,7 +539,8 @@ struct FleetWorld
      *  the RTT even with several requests of one connection in
      *  flight (open loop). */
     void
-    serveRequest(std::size_t connIdx, int cpu, Cycles at)
+    serveRequest(std::size_t connIdx, int cpu, Cycles at,
+                 std::uint64_t token)
     {
         PhysicalCpu &p = mach->cpu(cpu);
         const CostModel &cm = mach->costs();
@@ -484,11 +565,30 @@ struct FleetWorld
         lat.record(cpu, LatencyPhase::Service, cost);
 
         mach->cpuQueue(cpu).scheduleAt(
-            done, [this, connIdx, cpu, done, sentAt = at - wire] {
+            done, [this, connIdx, cpu, at, t, done, token,
+                   sentAt = at - wire] {
+                // Causal stamps on the server's own track (this CPU's
+                // lane, honoring the one-lane-per-track contract), at
+                // the completion event so every when is at or before
+                // the stamping instant — never ahead of the barrier
+                // clock, which keeps the flight recorder's eviction
+                // simple. Redeem the wire edge, then the queue wait
+                // and service body as spans, then open the response's
+                // wire edge.
+                const std::uint16_t trk =
+                    static_cast<std::uint16_t>(cpu);
+                TraceSink &trace = mach->trace();
+                trace.edgeIn(at, token, edgeWireTap(), TraceCat::Io,
+                             trk);
+                trace.span(at, t, queueTap, TraceCat::Op, trk);
+                trace.span(t, done, serveTap, TraceCat::Op, trk);
+                const std::uint64_t rtok = trace.edgeOut(
+                    done, edgeWireTap(), TraceCat::Io, trk);
                 rsp[static_cast<std::size_t>(cpu)]->send(
                     done + wire,
-                    [this, connIdx, tr = done + wire, sentAt] {
-                        completeTransaction(connIdx, tr, sentAt);
+                    [this, connIdx, tr = done + wire, sentAt, rtok] {
+                        completeTransaction(connIdx, tr, sentAt,
+                                            rtok);
                     });
             });
     }
@@ -498,8 +598,11 @@ struct FleetWorld
      *  send the next one. Open-loop departures are driven by the
      *  arrival chain instead. */
     void
-    completeTransaction(std::size_t connIdx, Cycles tr, Cycles sentAt)
+    completeTransaction(std::size_t connIdx, Cycles tr, Cycles sentAt,
+                        std::uint64_t token)
     {
+        mach->trace().edgeIn(tr, token, edgeWireTap(), TraceCat::Io,
+                             clientTrack());
         FleetConn &c = conns[connIdx];
         c.rttSum += tr - sentAt;
         c.lastDone = tr;
@@ -584,6 +687,10 @@ struct FleetWorld
 
         FleetResult r;
         r.finalTime = kern.run();
+        // Flush incident windows still waiting on their post-trigger
+        // half before anything exports.
+        if (flight.enabled())
+            flight.finalize(r.finalTime);
         r.transactions = transactions;
         if (slo.armed())
             r.sloBreaches = slo.breaches();

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "sim/flight.hh"
 #include "sim/latency.hh"
 #include "sim/log.hh"
 #include "sim/shard_profile.hh"
@@ -327,6 +328,57 @@ renderLatencySummary(const RequestTracker &latency,
         << latency.totalCount(LatencyPhase::Rtt)
         << " transactions):\n"
         << t.render();
+    return oss.str();
+}
+
+std::string
+renderIncidentSummary(const FlightRecorder &flight,
+                      const Frequency &freq)
+{
+    if (flight.incidentCount() == 0 && flight.incidentsDropped() == 0)
+        return "";
+
+    TextTable t({"incident", "trigger us", "window us", "records",
+                 "crit path", "top blame-diff term", "sources"});
+    for (std::size_t i = 0; i < flight.incidentCount(); ++i) {
+        const FlightIncident &inc = flight.incident(i);
+        const DiffReport diff =
+            diffBlame(inc.blame, flight.referenceBlame());
+        const DiffRow *top = diff.top();
+        std::string topTerm = "-";
+        if (top != nullptr && top->delta() != 0) {
+            topTerm = top->name + " +" +
+                      formatCycles(static_cast<double>(top->delta())) +
+                      " cy";
+        }
+        std::string sources;
+        for (const std::string &s : inc.sources) {
+            if (!sources.empty())
+                sources += ",";
+            sources += s;
+        }
+        std::string label = "#";
+        label += std::to_string(inc.seq);
+        t.addRow({std::move(label),
+                  formatFixed(freq.us(inc.triggerAt), 2),
+                  formatFixed(freq.us(inc.begin), 2) + ".." +
+                      formatFixed(freq.us(inc.end), 2) +
+                      (inc.clipped ? " (clipped)" : ""),
+                  std::to_string(inc.records.size()),
+                  std::to_string(inc.critical.steps.size()) + " steps",
+                  topTerm, sources});
+    }
+
+    std::ostringstream oss;
+    oss << "Incidents: " << flight.incidentCount() << " captured";
+    if (flight.incidentsDropped() > 0)
+        oss << ", " << flight.incidentsDropped()
+            << " dropped past the cap";
+    if (flight.referenceSealed())
+        oss << " (reference window [0.."
+            << formatFixed(freq.us(flight.referenceEnd()), 2)
+            << " us])";
+    oss << "\n" << t.render();
     return oss.str();
 }
 

@@ -13,6 +13,7 @@
 
 namespace virtsim {
 
+class FlightRecorder;
 class Frequency;
 class RequestTracker;
 class TimelineSampler;
@@ -88,6 +89,17 @@ std::string renderShardSummary(const ShardProfile &profile);
  */
 std::string renderLatencySummary(const RequestTracker &latency,
                                  const Frequency &freq);
+
+/**
+ * Multi-line summary of a flight recorder's captured incidents for
+ * bench stdout: one row per incident with the trigger instant, window
+ * bounds, record count, critical-path coverage and the top blame-diff
+ * term vs the healthy reference — the "what changed" headline without
+ * opening the incident JSON. Empty string when nothing was captured
+ * and nothing was dropped.
+ */
+std::string renderIncidentSummary(const FlightRecorder &flight,
+                                  const Frequency &freq);
 
 } // namespace virtsim
 

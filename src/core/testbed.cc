@@ -171,13 +171,24 @@ Testbed::Testbed(TestbedConfig config)
         if (*p)
             latencyPath = p;
     }
+    // VIRTSIM_INCIDENTS=<dir> arms the always-on flight recorder and
+    // writes one virtsim-incident-1 JSON per captured incident into
+    // the directory at teardown. VIRTSIM_INCIDENT_WINDOW_US /
+    // VIRTSIM_INCIDENT_CAP size the frozen window and the capture cap.
+    if (const char *p = std::getenv("VIRTSIM_INCIDENTS")) {
+        if (*p)
+            incidentsDir = p;
+    }
     applyObservability();
 }
 
 void
 Testbed::applyObservability()
 {
-    if (!tracePath.empty())
+    // Incident forensics needs both the stamping tee (trace sink) and
+    // the timeline tick chain, so arming it arms both.
+    const bool incidentsOn = !incidentsDir.empty();
+    if (!tracePath.empty() || incidentsOn)
         server->trace().enable();
     if (!flamePath.empty())
         attribution();
@@ -218,7 +229,7 @@ Testbed::applyObservability()
     // under latency tracking: SLO burn windows evaluate in the
     // timeline sample hook.
     if (timelineWanted || !timelinePath.empty() ||
-        !tracePath.empty() || latencyOn) {
+        !tracePath.empty() || latencyOn || incidentsOn) {
         const Cycles period = std::max<Cycles>(
             1, server->freq().cyclesFromSeconds(1.0 / timelineHz));
         TimelineSampler &tl = server->probe().timeline;
@@ -240,6 +251,45 @@ Testbed::applyObservability()
         if (envPositiveCount("VIRTSIM_SHARD_STATS", 1) &&
             tl.findGauge("shard.lanes_live") < 0) {
             kern.registerGauges(tl);
+        }
+        if (incidentsOn && !flightArmed) {
+            // Arm last — enable() sizes tick-row storage from the
+            // gauge count, so every registration above must be done.
+            // Classic worlds stamp from lane 0 only, so the default
+            // single-segment window ring suffices (the trace sink is
+            // not lane-partitioned here either).
+            flightArmed = true;
+            const double winUs =
+                envPositiveReal("VIRTSIM_INCIDENT_WINDOW_US", 1e9)
+                    .value_or(100.0);
+            const std::uint32_t icap = static_cast<std::uint32_t>(
+                envPositiveCount("VIRTSIM_INCIDENT_CAP",
+                                 std::uint64_t{1} << 20)
+                    .value_or(16));
+            Probe &p = server->probe();
+            flight.configure(
+                std::max<Cycles>(1, server->freq().cycles(winUs)),
+                tl.period(), icap);
+            flight.bind(&tl, p.latency.enabled() ? &p.latency
+                                                 : nullptr);
+            flight.enable();
+            server->trace().setFlightRecorder(&flight);
+            FlightRecorder *fr = &flight;
+            tl.addPostSampleHook(
+                [fr](Cycles now) { fr->onSample(now); });
+            const TimelineSampler *tlp = &tl;
+            tl.setAnomalyHook(
+                [fr, tlp](Cycles now, std::uint32_t ri, bool open) {
+                    fr->onAnomaly(now, tlp->ruleName(ri), open);
+                });
+            if (slo.armed()) {
+                SloEngine *se = &slo;
+                slo.setBreachHook(
+                    [fr, se](Cycles now, std::size_t i) {
+                        fr->trigger(now, "slo." + se->specs()[i].name +
+                                             ".burn");
+                    });
+            }
         }
     }
     if (!tracePath.empty() || !metricsPath.empty() ||
@@ -331,7 +381,8 @@ Testbed::exportObservability()
 {
     if (tracePath.empty() && metricsPath.empty() &&
         flamePath.empty() && timelinePath.empty() &&
-        shardProfilePath.empty() && latencyPath.empty()) {
+        shardProfilePath.empty() && latencyPath.empty() &&
+        incidentsDir.empty()) {
         return;
     }
     // Once per run: a cached testbed exports when its lease is
@@ -351,10 +402,28 @@ Testbed::exportObservability()
     // free of host-timing noise.
     const ShardProfile *sp =
         kern.shardProfile().enabled() ? &kern.shardProfile() : nullptr;
+    // Capture incident windows still waiting on their post-trigger
+    // half before the trace annotations and incident files write.
+    if (flight.enabled())
+        flight.finalize(eq.now());
     if (!tracePath.empty()) {
         exportChromeTrace(perKindPath(tracePath, cfg.kind),
                           server->trace(), server->freq(),
-                          to_string(cfg.kind), &tl, sp);
+                          to_string(cfg.kind), &tl, sp,
+                          flight.enabled() ? &flight : nullptr);
+    }
+    if (!incidentsDir.empty() && flight.enabled()) {
+        std::string tag = to_string(cfg.kind);
+        for (char &c : tag)
+            c = std::isalnum(static_cast<unsigned char>(c))
+                    ? static_cast<char>(std::tolower(
+                          static_cast<unsigned char>(c)))
+                    : '_';
+        flight.exportIncidents(incidentsDir, server->freq(), tag);
+        const std::string s =
+            renderIncidentSummary(flight, server->freq());
+        if (!s.empty())
+            inform("\n", s);
     }
     if (!shardProfilePath.empty()) {
         exportShardProfile(perKindPath(shardProfilePath, cfg.kind),
@@ -438,6 +507,7 @@ Testbed::beginRun()
     // Histogram counts went back to zero; the burn-window bases the
     // live SLO state holds would be stale against them.
     slo.reset();
+    flight.reset();
     if (_attrib)
         _attrib->reset();
 }
@@ -479,6 +549,12 @@ Testbed::reset()
         buildNative();
     observabilityExported = false; // the next run exports again
     slo.reset();
+    // The rebuilt sampler lost its hooks; disarm so the block in
+    // applyObservability() reinstalls them (and resizes the tick
+    // rows against the fresh gauge registration).
+    flight.reset();
+    flight.disable();
+    flightArmed = false;
     applyObservability();
 }
 

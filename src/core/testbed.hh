@@ -39,6 +39,7 @@
 #include "hw/wire.hh"
 #include "os/netstack.hh"
 #include "sim/attrib.hh"
+#include "sim/flight.hh"
 #include "sim/random.hh"
 #include "sim/slo.hh"
 
@@ -318,9 +319,17 @@ class Testbed
     std::string shardProfilePath;
     std::string latencyPath; ///< VIRTSIM_LATENCY destination, if set
     bool latencyWanted = false; ///< enableLatency() was called
+    /** VIRTSIM_INCIDENTS destination directory, if set. */
+    std::string incidentsDir;
     /** Judges request latency against the configured objectives (the
      *  default netperf-RR contract unless env overrides apply). */
     SloEngine slo;
+    /** Incident forensics: armed by applyObservability() under
+     *  VIRTSIM_INCIDENTS, flushed in exportObservability(). */
+    FlightRecorder flight;
+    /** flight's hooks are installed on the current world (cleared by
+     *  reset(): the rebuilt sampler starts hookless). */
+    bool flightArmed = false;
     /** exportObservability() already ran for the current run. */
     bool observabilityExported = false;
     /** Sampling rate in simulated Hz (VIRTSIM_TIMELINE_HZ or

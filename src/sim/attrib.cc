@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <fstream>
 #include <ostream>
+#include <tuple>
 
 #include "sim/log.hh"
 
@@ -421,8 +422,15 @@ CausalAnalyzer::reset()
     _unmatched = 0;
 }
 
+namespace {
+
+/** Shared graph construction over any record source: the retained
+ *  sink ring (buildCausalGraph) or a frozen record array (the flight
+ *  recorder's incident windows). @p forEach invokes its callback once
+ *  per record in stream order. */
+template <typename ForEach>
 CausalGraph
-buildCausalGraph(const TraceSink &sink, std::uint64_t mark)
+buildGraphImpl(ForEach &&forEach)
 {
     CausalGraph g;
 
@@ -443,7 +451,7 @@ buildCausalGraph(const TraceSink &sink, std::uint64_t mark)
     std::map<std::uint64_t, EdgeHalf> outs;
     std::map<std::uint64_t, EdgeHalf> ins;
 
-    sink.forEachSince(mark, [&](const TraceRecord &r) {
+    forEach([&](const TraceRecord &r) {
         switch (r.kind) {
           case TraceKind::Begin:
             opens.push_back(OpenRec{r.tap.raw(), r.track, r.when});
@@ -532,7 +540,39 @@ buildCausalGraph(const TraceSink &sink, std::uint64_t mark)
         }
         g.edges.push_back(std::move(e));
     }
+    // `outs` iterates in token order, and tokens encode the stamping
+    // lane — a lane-count-dependent order. Re-sort edges by payload so
+    // downstream consumers (critical-path tie-breaks, incident JSON)
+    // are byte-identical at every VIRTSIM_SHARDS.
+    std::sort(g.edges.begin(), g.edges.end(),
+              [](const CausalGraph::Edge &a,
+                 const CausalGraph::Edge &b) {
+                  return std::tie(a.out, a.in, a.name, a.fromTrack,
+                                  a.toTrack) <
+                         std::tie(b.out, b.in, b.name, b.fromTrack,
+                                  b.toTrack);
+              });
     return g;
+}
+
+} // namespace
+
+CausalGraph
+buildCausalGraph(const TraceSink &sink, std::uint64_t mark)
+{
+    return buildGraphImpl([&](auto &&fn) {
+        sink.forEachSince(mark, fn);
+    });
+}
+
+CausalGraph
+buildCausalGraphFromRecords(const TraceRecord *records,
+                            std::size_t count)
+{
+    return buildGraphImpl([&](auto &&fn) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(records[i]);
+    });
 }
 
 std::string
@@ -599,6 +639,12 @@ extractCriticalPath(const CausalGraph &g)
     }
 
     std::vector<CriticalPathStep> rev;
+    // A span may receive an edge from itself or from a span already
+    // on the path (an intra-span LR hand-off, a ring of wakeups);
+    // walking into one again would cycle until the guard. Visit each
+    // node at most once.
+    std::vector<char> seen(g.nodes.size(), 0);
+    seen[static_cast<std::size_t>(cur)] = 1;
     for (int guard = 0; cur >= 0 && guard < 256; ++guard) {
         const CausalGraph::Node &n =
             g.nodes[static_cast<std::size_t>(cur)];
@@ -612,6 +658,9 @@ extractCriticalPath(const CausalGraph &g)
             const CausalGraph::Edge &ed = g.edges[e];
             if (ed.toNode != cur)
                 continue;
+            if (ed.fromNode >= 0 &&
+                seen[static_cast<std::size_t>(ed.fromNode)])
+                continue;
             if (bestEdge < 0 ||
                 ed.in > g.edges[static_cast<std::size_t>(bestEdge)]
                             .in) {
@@ -624,6 +673,8 @@ extractCriticalPath(const CausalGraph &g)
             rev.push_back(CriticalPathStep{ed.name, ed.toTrack,
                                            ed.out, ed.in, true});
             cur = ed.fromNode;
+            if (cur >= 0)
+                seen[static_cast<std::size_t>(cur)] = 1;
             continue;
         }
 
@@ -631,8 +682,7 @@ extractCriticalPath(const CausalGraph &g)
         int prev = -1;
         for (std::size_t j = 0; j < g.nodes.size(); ++j) {
             const CausalGraph::Node &p = g.nodes[j];
-            if (p.track != n.track || p.t1 > n.t0 ||
-                static_cast<int>(j) == cur) {
+            if (p.track != n.track || p.t1 > n.t0 || seen[j]) {
                 continue;
             }
             if (prev < 0) {
@@ -649,6 +699,8 @@ extractCriticalPath(const CausalGraph &g)
             }
         }
         cur = prev;
+        if (cur >= 0)
+            seen[static_cast<std::size_t>(cur)] = 1;
     }
 
     std::reverse(rev.begin(), rev.end());

@@ -281,6 +281,11 @@ struct CausalGraph
 CausalGraph buildCausalGraph(const TraceSink &sink,
                              std::uint64_t mark = 0);
 
+/** Same reconstruction over a frozen, time-sorted record array — the
+ *  flight recorder's captured incident windows. */
+CausalGraph buildCausalGraphFromRecords(const TraceRecord *records,
+                                        std::size_t count);
+
 /** One hop of a critical path: a span, or an edge in flight (track
  *  is the *destination* track for edges). */
 struct CriticalPathStep

@@ -159,6 +159,20 @@ RequestTracker::totalCount(LatencyPhase phase, int cpu) const
 }
 
 std::uint64_t
+RequestTracker::totalSum(LatencyPhase phase, int cpu) const
+{
+    std::uint64_t n = 0;
+    for (const auto &seg : segs) {
+        for (int c = 0; c < _cpus; ++c) {
+            if (cpu >= 0 && c != cpu)
+                continue;
+            n += seg[slotOf(c, phase)].sum();
+        }
+    }
+    return n;
+}
+
+std::uint64_t
 RequestTracker::totalAbove(LatencyPhase phase,
                            std::uint64_t threshold, int cpu) const
 {

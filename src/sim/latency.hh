@@ -280,6 +280,11 @@ class RequestTracker
      *  cpu = -1 folds every CPU. */
     std::uint64_t totalCount(LatencyPhase phase, int cpu = -1) const;
 
+    /** Streaming aggregate sum of recorded values (cycles) — the
+     *  flight recorder's per-window mean comes from delta(sum)/
+     *  delta(count) between two barrier instants. */
+    std::uint64_t totalSum(LatencyPhase phase, int cpu = -1) const;
+
     /** Streaming aggregate of LatencyHistogram::countAbove. */
     std::uint64_t totalAbove(LatencyPhase phase,
                              std::uint64_t threshold,

@@ -8,6 +8,7 @@
 #include <ostream>
 #include <unordered_map>
 
+#include "sim/flight.hh"
 #include "sim/log.hh"
 #include "sim/shard_profile.hh"
 
@@ -309,7 +310,8 @@ void
 writeChromeTrace(std::ostream &os, const TraceSink &sink,
                  const Frequency &freq, const std::string &process,
                  const TimelineSampler *timeline,
-                 const ShardProfile *profile)
+                 const ShardProfile *profile,
+                 const FlightRecorder *flight)
 {
     os << "{\"traceEvents\":[\n";
     os << "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
@@ -391,6 +393,11 @@ writeChromeTrace(std::ostream &os, const TraceSink &sink,
     if (profile)
         writeShardProfileCounters(os, *profile);
 
+    // Captured incident windows annotate the timeline so the forensic
+    // JSON and the Perfetto view line up on the same instants.
+    if (flight)
+        flight->writeAnnotationEvents(os, freq);
+
     os << "\n],\"otherData\":{\"recordCount\":" << sink.size()
        << ",\"droppedRecords\":" << sink.dropped()
        << ",\"truncatedSpans\":" << sink.truncatedSpans() << "}}\n";
@@ -400,7 +407,8 @@ bool
 exportChromeTrace(const std::string &path, const TraceSink &sink,
                   const Frequency &freq, const std::string &process,
                   const TimelineSampler *timeline,
-                  const ShardProfile *profile)
+                  const ShardProfile *profile,
+                  const FlightRecorder *flight)
 {
     std::ofstream os(path);
     if (!os) {
@@ -412,7 +420,8 @@ exportChromeTrace(const std::string &path, const TraceSink &sink,
              " dropped records, ", sink.truncatedSpans(),
              " truncated spans (raise VIRTSIM_TRACE_CAPACITY)");
     }
-    writeChromeTrace(os, sink, freq, process, timeline, profile);
+    writeChromeTrace(os, sink, freq, process, timeline, profile,
+                     flight);
     return true;
 }
 

@@ -48,6 +48,7 @@
 namespace virtsim {
 
 struct ShardProfile;
+class FlightRecorder;
 
 /**
  * Interned identifier of a trace tap (a named instrumentation point
@@ -133,6 +134,11 @@ struct TraceRecord
 };
 
 static_assert(sizeof(TraceRecord) == 24, "TraceRecord grew");
+
+/** Feed one record into a flight recorder's lane-local window ring.
+ *  Defined in sim/flight.cc; declared here so TraceSink::push can tee
+ *  without including the flight header (probe.hh sits below it). */
+void flightRecordBridge(FlightRecorder &fr, const TraceRecord &r);
 
 /**
  * Streaming consumer of trace records. Attach one to a TraceSink with
@@ -275,6 +281,17 @@ class TraceSink
     void setObserver(TraceObserver *o) { obs = o; }
 
     TraceObserver *observer() const { return obs; }
+
+    /**
+     * Tee every pushed record into a flight recorder's sliding window
+     * (or stop, with nullptr). Unlike observers there is no deferred
+     * mode: the recorder keeps lane-partitioned rings of its own, so
+     * the tee is lane-local and race-free from concurrent stamping
+     * lanes.
+     */
+    void setFlightRecorder(FlightRecorder *fr) { flight_ = fr; }
+
+    FlightRecorder *flightRecorder() const { return flight_; }
 
     /**
      * Switch observer dispatch from inline (at every push, on the
@@ -558,6 +575,8 @@ class TraceSink
         s.ring[s.head] = r;
         s.head = (s.head + 1) & (cap - 1);
         ++s.total;
+        if (flight_)
+            flightRecordBridge(*flight_, r);
         if (obs && !obsDeferred)
             obs->onTraceRecord(r);
     }
@@ -567,6 +586,7 @@ class TraceSink
     std::vector<Seg> segs = std::vector<Seg>(1);
     std::size_t cap = 0; ///< per-segment capacity, power of two
     TraceObserver *obs = nullptr; ///< streaming consumer, not owned
+    FlightRecorder *flight_ = nullptr; ///< window tee, not owned
     bool obsDeferred = false;     ///< deliver at flushObserver() only
     bool _enabled = false;
 };
@@ -589,7 +609,8 @@ void writeChromeTrace(std::ostream &os, const TraceSink &sink,
                       const Frequency &freq,
                       const std::string &process = "virtsim",
                       const TimelineSampler *timeline = nullptr,
-                      const ShardProfile *profile = nullptr);
+                      const ShardProfile *profile = nullptr,
+                      const FlightRecorder *flight = nullptr);
 
 /** writeChromeTrace to a file, warning on stderr when the sink lost
  *  records (dropped or truncated spans) so a lossy trace is visible
@@ -599,7 +620,8 @@ bool exportChromeTrace(const std::string &path, const TraceSink &sink,
                        const Frequency &freq,
                        const std::string &process = "virtsim",
                        const TimelineSampler *timeline = nullptr,
-                       const ShardProfile *profile = nullptr);
+                       const ShardProfile *profile = nullptr,
+                       const FlightRecorder *flight = nullptr);
 
 /** A copyable relaxed-atomic byte flag. Used for MetricsDomain's
  *  used-tap marks so concurrent shard lanes can register the same tap

@@ -13,6 +13,7 @@ void
 SloEngine::warmTaps() const
 {
     internTap("watchdog.anomalies");
+    internTap("watchdog.anomalies_dropped");
     for (const SloSpec &s : specs_) {
         internTap("slo." + s.name + ".requests");
         internTap("slo." + s.name + ".violations");
@@ -82,9 +83,13 @@ SloEngine::onSample(Cycles now)
             dReq > 0 && static_cast<double>(dViol) >
                             s.maxViolationFraction *
                                 static_cast<double>(dReq);
+        const bool was = st.burning != 0;
         st.burning = burnt ? 1 : 0;
-        if (burnt)
+        if (burnt) {
             ++st.burnt;
+            if (!was && breachHook)
+                breachHook(now, i);
+        }
         st.windowStart = now;
         st.baseRequests = requests;
         st.baseViolations = violations;

@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/inline_function.hh"
 #include "sim/latency.hh"
 #include "sim/types.hh"
 #include "sim/units.hh"
@@ -43,6 +44,11 @@ namespace virtsim {
 
 class TimelineSampler;
 class MetricsRegistry;
+
+/** Burn-breach notification: (now, spec index). Fires on the 0→1 edge
+ *  of a spec's burn state — the instant a completed burn window first
+ *  violates the contract after a clean one. */
+using SloBreachHookFn = InlineFunction<void(Cycles, std::size_t), 48>;
 
 /** One latency objective. */
 struct SloSpec
@@ -165,7 +171,11 @@ class SloEngine
     /** JSON array of verdicts for the virtsim-latency-1 export. */
     std::string verdictsJson(const Frequency &freq) const;
 
-    /** Drop live window state; keep specs and binding. */
+    /** Install the (single) burn-breach observer — the flight
+     *  recorder's SLO trigger source. Kept across reset(). */
+    void setBreachHook(SloBreachHookFn fn) { breachHook = std::move(fn); }
+
+    /** Drop live window state; keep specs, binding and hook. */
     void reset();
 
   private:
@@ -186,6 +196,7 @@ class SloEngine
     const RequestTracker *tracker = nullptr;
     std::vector<SloSpec> specs_;
     std::vector<LiveState> live;
+    SloBreachHookFn breachHook;
     double usPerCycle = 0.0;
 };
 

@@ -104,6 +104,20 @@ TimelineSampler::gaugeName(std::size_t g) const
     return series[g].name;
 }
 
+std::uint16_t
+TimelineSampler::gaugeTrack(std::size_t g) const
+{
+    VIRTSIM_ASSERT(g < series.size(), "gauge index out of range");
+    return series[g].track;
+}
+
+std::int64_t
+TimelineSampler::gaugeLive(std::size_t g) const
+{
+    VIRTSIM_ASSERT(g < series.size(), "gauge index out of range");
+    return series[g].live;
+}
+
 void
 TimelineSampler::addRule(std::string name, std::string_view gauge,
                          std::int64_t threshold, Cycles minDuration)
@@ -191,10 +205,15 @@ void
 TimelineSampler::evaluateRules(Cycles now)
 {
     for (Rule &r : rules) {
+        const std::uint32_t ri =
+            static_cast<std::uint32_t>(&r - rules.data());
         const std::int64_t v = series[r.gauge].live;
         if (v < r.threshold) {
+            if ((r.openAnomaly >= 0 || r.droppedOpen) && anomalyHook)
+                anomalyHook(now, ri, false);
             r.above = false;
             r.openAnomaly = -1;
+            r.droppedOpen = false;
             continue;
         }
         if (!r.above) {
@@ -210,11 +229,20 @@ TimelineSampler::evaluateRules(Cycles now)
             Anomaly &a = anomalyBuf[r.openAnomaly];
             a.end = now;
             a.peak = r.peak;
+        } else if (r.droppedOpen) {
+            // Already accounted: a saturated buffer drops the whole
+            // window once, not once per tick it stays above threshold.
         } else if (anomalyUsed < anomalyCapacity) {
             r.openAnomaly = static_cast<std::int32_t>(anomalyUsed);
-            anomalyBuf[anomalyUsed++] = Anomaly{
-                static_cast<std::uint32_t>(&r - rules.data()),
-                r.aboveSince, now, r.peak};
+            anomalyBuf[anomalyUsed++] =
+                Anomaly{ri, r.aboveSince, now, r.peak};
+            if (anomalyHook)
+                anomalyHook(now, ri, true);
+        } else {
+            r.droppedOpen = true;
+            ++_anomaliesDropped;
+            if (anomalyHook)
+                anomalyHook(now, ri, true);
         }
     }
 }
@@ -223,6 +251,12 @@ void
 TimelineSampler::addSampleHook(SampleHookFn fn)
 {
     hooks.push_back(std::move(fn));
+}
+
+void
+TimelineSampler::addPostSampleHook(SampleHookFn fn)
+{
+    postHooks.push_back(std::move(fn));
 }
 
 void
@@ -245,6 +279,8 @@ TimelineSampler::sampleTick(Cycles now)
         store(s, now, value);
     }
     evaluateRules(now);
+    for (SampleHookFn &h : postHooks)
+        h(now);
 }
 
 void
@@ -267,10 +303,15 @@ TimelineSampler::tick(EventQueue &eq)
 void
 TimelineSampler::publishAnomalies(MetricsRegistry &metrics) const
 {
-    if (anomalyUsed == 0)
+    if (anomalyUsed == 0 && _anomaliesDropped == 0)
         return;
-    metrics.machine().counter(internTap("watchdog.anomalies"))
-        .inc(anomalyUsed);
+    if (anomalyUsed > 0)
+        metrics.machine().counter(internTap("watchdog.anomalies"))
+            .inc(anomalyUsed);
+    if (_anomaliesDropped > 0)
+        metrics.machine()
+            .counter(internTap("watchdog.anomalies_dropped"))
+            .inc(_anomaliesDropped);
     for (std::uint32_t i = 0; i < anomalyUsed; ++i) {
         const std::string name =
             "watchdog." + rules[anomalyBuf[i].rule].name;
@@ -294,8 +335,10 @@ TimelineSampler::resetSeries()
         r.aboveSince = 0;
         r.peak = 0;
         r.openAnomaly = -1;
+        r.droppedOpen = false;
     }
     anomalyUsed = 0;
+    _anomaliesDropped = 0;
     _dropped = 0;
     _ticks = 0;
     scheduled = false;
@@ -307,8 +350,11 @@ TimelineSampler::clear()
     series.clear();
     rules.clear();
     hooks.clear();
+    postHooks.clear();
+    anomalyHook.reset();
     anomalyBuf.reset();
     anomalyUsed = 0;
+    _anomaliesDropped = 0;
     _dropped = 0;
     _ticks = 0;
     _period = 0;
@@ -341,7 +387,9 @@ TimelineSampler::renderJson(const Frequency &freq) const
         }
         os << "]}";
     }
-    os << "],\"anomaly_count\":" << anomalyUsed << ",\"anomalies\":[";
+    os << "],\"anomaly_count\":" << anomalyUsed
+       << ",\"anomalies_dropped\":" << _anomaliesDropped
+       << ",\"anomalies\":[";
     for (std::uint32_t i = 0; i < anomalyUsed; ++i) {
         if (i)
             os << ",";

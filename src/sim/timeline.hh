@@ -54,6 +54,12 @@ using GaugeFn = InlineFunction<std::int64_t(), 48>;
  *  before gauges are read (see addSampleHook). */
 using SampleHookFn = InlineFunction<void(Cycles), 48>;
 
+/** Watchdog anomaly notification: (now, rule index, open). Fires once
+ *  when a rule first crosses its minDuration (open = true) and once
+ *  when the gauge drops back below threshold (open = false) — also for
+ *  windows the saturated anomaly buffer could not record. */
+using AnomalyHookFn = InlineFunction<void(Cycles, std::uint32_t, bool), 48>;
+
 /** Track id for gauges with no per-CPU affinity. */
 inline constexpr std::uint16_t gaugeNoTrack = 0xffff;
 
@@ -107,11 +113,27 @@ class TimelineSampler
      */
     void addSampleHook(SampleHookFn fn);
 
+    /**
+     * Register a hook that runs at the bottom of every sampling tick,
+     * after every gauge has been read and the watchdog rules have been
+     * evaluated. Same quiescence and determinism contract as
+     * addSampleHook(); the flight recorder folds its window
+     * maintenance (eviction, reference sealing, incident finalization)
+     * here. Kept by resetSeries(), dropped by clear().
+     */
+    void addPostSampleHook(SampleHookFn fn);
+
+    /** Install the (single) anomaly open/close observer. */
+    void setAnomalyHook(AnomalyHookFn fn) { anomalyHook = std::move(fn); }
+
     /** Index of a registered gauge, or -1 when absent. */
     int findGauge(std::string_view name) const;
 
     std::size_t gaugeCount() const { return series.size(); }
     const std::string &gaugeName(std::size_t g) const;
+    std::uint16_t gaugeTrack(std::size_t g) const;
+    /** Value read on the most recent tick (what watchdog rules judge). */
+    std::int64_t gaugeLive(std::size_t g) const;
 
     /**
      * Declare a watchdog rule: fire when `gauge`'s sampled value sits
@@ -174,6 +196,9 @@ class TimelineSampler
 
     std::uint32_t anomalyCount() const { return anomalyUsed; }
     const Anomaly *anomalies() const { return anomalyBuf.get(); }
+    /** Anomaly windows lost to a saturated buffer (one per window, not
+     *  per tick) — nonzero means anomalyCount() undercounts. */
+    std::uint64_t anomaliesDropped() const { return _anomaliesDropped; }
     const std::string &ruleName(std::uint32_t r) const;
 
     /** Publish anomaly totals as watchdog.* machine counters —
@@ -239,6 +264,9 @@ class TimelineSampler
         /** Open anomaly record index, or -1 while below threshold or
          *  under minDuration. */
         std::int32_t openAnomaly = -1;
+        /** The current window fired past a saturated anomaly buffer;
+         *  it was counted dropped once and must not count again. */
+        bool droppedOpen = false;
     };
 
     void scheduleOn(EventQueue &eq);
@@ -249,8 +277,11 @@ class TimelineSampler
     std::vector<Series> series;
     std::vector<Rule> rules;
     std::vector<SampleHookFn> hooks;
+    std::vector<SampleHookFn> postHooks;
+    AnomalyHookFn anomalyHook;
     std::unique_ptr<Anomaly[]> anomalyBuf;
     std::uint32_t anomalyUsed = 0;
+    std::uint64_t _anomaliesDropped = 0;
     std::uint64_t _dropped = 0;
     std::uint64_t _ticks = 0;
     Cycles _period = 0;

@@ -336,6 +336,58 @@ TEST(Timeline, InstantRuleFiresOnFirstOffendingSample)
     EXPECT_EQ(tl.anomalies()[0].begin, 300u);
 }
 
+TEST(Timeline, AnomalyBufferSaturationIsCountedNotSilent)
+{
+    // An instant rule over a gauge that oscillates every other tick
+    // opens one anomaly window per excursion — far more than the
+    // fixed anomaly buffer holds. The overflow must be counted in
+    // anomaliesDropped() and surfaced in the JSON export, and the
+    // anomaly hook must keep firing for dropped windows too (the
+    // flight recorder wants every trigger, stored or not).
+    EventQueue eq;
+    TimelineSampler tl;
+    std::int64_t v = 0;
+    tl.addGauge("test.flap", [&v] { return v; });
+    tl.addRule("flap", "test.flap", 5, 0);
+    std::uint64_t opens = 0, closes = 0;
+    tl.setAnomalyHook(
+        [&opens, &closes](Cycles, std::uint32_t, bool open) {
+            if (open)
+                ++opens;
+            else
+                ++closes;
+        });
+    tl.enable(100);
+
+    constexpr std::uint64_t excursions =
+        TimelineSampler::anomalyCapacity + 40;
+    for (std::uint64_t i = 0; i < excursions; ++i) {
+        // Above threshold for one tick at 100(2i+1)+50, back below
+        // before the next: each excursion is its own window.
+        eq.scheduleAt(200 * i + 150, [&v] { v = 9; });
+        eq.scheduleAt(200 * i + 250, [&v] { v = 0; });
+    }
+    scheduleDummies(eq, 2 * excursions + 2, 100);
+    tl.ensureScheduled(eq);
+    eq.run();
+
+    EXPECT_EQ(tl.anomalyCount(), TimelineSampler::anomalyCapacity);
+    EXPECT_EQ(tl.anomaliesDropped(),
+              excursions - TimelineSampler::anomalyCapacity);
+    EXPECT_EQ(opens, excursions);
+    EXPECT_EQ(closes, excursions);
+
+    const std::string json = tl.renderJson(Frequency(2.4));
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    EXPECT_NE(json.find("\"anomalies_dropped\":40"),
+              std::string::npos);
+
+    // A dropped window is one window, however many ticks it spans:
+    // a sustained excursion past the full buffer counts once.
+    tl.resetSeries();
+    EXPECT_EQ(tl.anomaliesDropped(), 0u);
+}
+
 TEST(Timeline, ResetSeriesKeepsRegistrationsAndConfiguration)
 {
     EventQueue eq;
